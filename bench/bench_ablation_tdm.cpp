@@ -1,0 +1,84 @@
+// Ablation across testable-design methodologies: partial scan (BALLAST,
+// balance only), BIBS, BIBS+CBILBO and KA85 [3] over the whole circuit zoo —
+// converted registers / flip-flops and the maximal-delay penalty. This is
+// the design-space the paper positions BIBS within (Sections 1-3).
+
+#include <iostream>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "common/table.hpp"
+#include "core/designer.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace bibs;
+
+  struct Case {
+    std::string name;
+    rtl::Netlist n;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fig2", circuits::make_fig2()});
+  cases.push_back({"fig4", circuits::make_fig4()});
+  cases.push_back({"fig9", circuits::make_fig9()});
+  cases.push_back({"c5a2m", circuits::make_c5a2m()});
+  cases.push_back({"c3a2m", circuits::make_c3a2m()});
+  cases.push_back({"c4a4m", circuits::make_c4a4m()});
+  cases.push_back({"fir8", circuits::make_fir_datapath(8)});
+
+  auto ffs = [](const rtl::Netlist& n, const core::BilboSet& b) {
+    int total = 0;
+    for (auto e : b) total += n.connection(e).reg->width;
+    return total;
+  };
+
+  Table t("TDM ablation: converted registers (flip-flops)");
+  t.header({"circuit", "scan regs (FFs)", "BIBS regs (FFs)",
+            "BIBS max delay", "KA85 regs (FFs)", "KA85 max delay",
+            "BIBS kernels", "KA85 kernels"});
+  for (Case& c : cases) {
+    std::string scan_s = "-";
+    try {
+      const auto scan = core::design_partial_scan(c.n);
+      scan_s = Table::num(scan.size()) + " (" +
+               Table::num(ffs(c.n, scan)) + ")";
+    } catch (const DesignError&) {
+      scan_s = "infeasible";
+    }
+    std::string bibs_s = "-", bibs_d = "-", bibs_k = "-";
+    try {
+      const auto r = core::design_bibs_cbilbo(c.n);
+      const auto all = r.regs.all();
+      const auto cost = core::evaluate_design(c.n, all);
+      bibs_s = Table::num(all.size()) + " (" + Table::num(ffs(c.n, all)) +
+               (r.regs.cbilbo.empty()
+                    ? ")"
+                    : ", " + Table::num(r.regs.cbilbo.size()) + " CBILBO)");
+      bibs_d = Table::num(cost.max_delay);
+      bibs_k = Table::num(cost.kernels);
+    } catch (const DesignError& e) {
+      bibs_s = "infeasible";
+    }
+    std::string ka_s = "-", ka_d = "-", ka_k = "-";
+    try {
+      const auto ka = core::design_ka85(c.n);
+      const auto cost = core::evaluate_design(c.n, ka.bilbo);
+      ka_s = Table::num(ka.bilbo.size()) + " (" + Table::num(ffs(c.n, ka.bilbo)) +
+             ")";
+      ka_d = Table::num(cost.max_delay);
+      ka_k = Table::num(cost.kernels);
+    } catch (const DesignError&) {
+      ka_s = "infeasible";
+    }
+    t.row({c.name, scan_s, bibs_s, bibs_d, ka_s, ka_d, bibs_k, ka_k});
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nPartial scan <= BIBS <= KA85 in converted hardware, as the theory\n"
+      "predicts: scan registers may serve as pseudo-PI and pseudo-PO at\n"
+      "once (conditions 1-2 only), BILBOs may not (condition 3), and KA85\n"
+      "additionally registers every multi-port block input (Theorem 3 makes\n"
+      "it a special case of BIBS).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 21 / Examples 7-8: functionally pseudo-exhaustive
+// testing of a three-cone kernel. Sweeps every register ordering through
+// MC_TPG (the paper's recommended optimization), and compares against the
+// register-level McCluskey minimal-test-signal procedure, which cannot use
+// sequential-length information and lands at 12 stages.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "common/table.hpp"
+#include "tpg/design.hpp"
+#include "tpg/exhaustive.hpp"
+#include "tpg/optimize.hpp"
+
+int main() {
+  using namespace bibs;
+  using namespace bibs::tpg;
+
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}, {"R3", 4}};
+  s.cones = {{"O1", {{0, 2}, {1, 0}}},
+             {"O2", {{0, 0}, {2, 1}}},
+             {"O3", {{1, 1}, {2, 0}}}};
+
+  Table t("Figure 21: LFSR degree vs input-register order (paper: order "
+          "(R1,R2,R3) needs 16, (R1,R3,R2) needs 8)");
+  t.header({"order", "LFSR stages", "physical FFs", "test time",
+            "all cones exhaustive"});
+  std::vector<int> perm = {0, 1, 2};
+  do {
+    const TpgDesign d = mc_tpg(s.permuted(perm));
+    std::string name;
+    for (int i : perm) name += "R" + std::to_string(i + 1) + " ";
+    const auto rank = check_exhaustive_rank(d);
+    t.row({name, Table::num(d.lfsr_stages), Table::num(d.physical_ffs()),
+           Table::num(static_cast<long long>(d.test_time(2))),
+           rank.all_exhaustive ? "yes" : "NO"});
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  t.print(std::cout);
+
+  const OrderResult best = optimize_register_order(s);
+  std::cout << "\noptimize_register_order picks:";
+  for (int i : best.order) std::cout << " R" << (i + 1);
+  std::cout << " -> " << best.design.lfsr_stages << "-stage LFSR"
+            << (best.optimal ? " (2^w lower bound reached)" : "") << "\n";
+
+  const TestSignalResult sig = min_test_signals(s);
+  std::cout << "\nExample 8 (extended McCluskey minimal test signals): "
+            << sig.signals << " signals -> " << sig.lfsr_stages
+            << "-stage LFSR, test time ~2^" << sig.lfsr_stages
+            << " (paper: 3 signals, 12 stages)\n"
+            << "MC_TPG + permutation wins because the test-signal procedure "
+               "cannot exploit\nsequential-length information (the paper's "
+               "point in Example 8).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The open problem of the paper's conclusion, exercised: minimal-FF/LFSR
+// TPG design via the necessary-and-sufficient rank condition. Compares
+// Procedure MC_TPG, MC_TPG + register permutation (Section 4.3), and the
+// free-placement search (minimize_tpg) on multi-cone structures.
+
+#include <iostream>
+
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "tpg/exhaustive.hpp"
+#include "tpg/minimize.hpp"
+#include "tpg/optimize.hpp"
+
+int main() {
+  using namespace bibs;
+  using namespace bibs::tpg;
+
+  std::vector<std::pair<std::string, GeneralizedStructure>> cases;
+  {
+    GeneralizedStructure ex7;
+    ex7.registers = {{"R1", 4}, {"R2", 4}, {"R3", 4}};
+    ex7.cones = {{"O1", {{0, 2}, {1, 0}}},
+                 {"O2", {{0, 0}, {2, 1}}},
+                 {"O3", {{1, 1}, {2, 0}}}};
+    cases.emplace_back("Fig 21 (Ex 7)", ex7);
+  }
+  {
+    GeneralizedStructure ex5;
+    ex5.registers = {{"R1", 4}, {"R2", 4}};
+    ex5.cones = {{"O1", {{0, 2}, {1, 0}}}, {"O2", {{0, 1}, {1, 0}}}};
+    cases.emplace_back("Fig 17 (Ex 5)", ex5);
+  }
+  // Randomized multi-cone structures.
+  Xoshiro256 rng(777);
+  for (int t = 0; t < 4; ++t) {
+    GeneralizedStructure s;
+    const int nregs = 3 + static_cast<int>(rng.next_below(2));
+    for (int i = 0; i < nregs; ++i)
+      s.registers.push_back(
+          {"R" + std::to_string(i + 1),
+           3 + static_cast<int>(rng.next_below(2))});
+    for (int c = 0; c < 3; ++c) {
+      Cone cone;
+      cone.name = "O" + std::to_string(c + 1);
+      for (int i = 0; i < nregs; ++i)
+        if (rng.next_below(2))
+          cone.deps.push_back({i, static_cast<int>(rng.next_below(3))});
+      if (cone.deps.size() < 2) {
+        cone.deps.clear();
+        cone.deps.push_back({0, 0});
+        cone.deps.push_back({1, 1});
+      }
+      s.cones.push_back(cone);
+    }
+    cases.emplace_back("random-" + std::to_string(t + 1), s);
+  }
+
+  Table t("Minimal TPG search vs MC_TPG vs permutation (LFSR stages; smaller"
+          " = exponentially shorter test)");
+  t.header({"structure", "lower bound 2^w", "MC_TPG", "best permutation",
+            "free placement", "certified"});
+  for (auto& [name, s] : cases) {
+    const TpgDesign mc = mc_tpg(s);
+    const OrderResult perm = optimize_register_order(s);
+    const MinimizeResult mini = minimize_tpg(s);
+    const bool cert = check_exhaustive_rank(mini.design).all_exhaustive;
+    t.row({name, Table::num(s.max_cone_width()), Table::num(mc.lfsr_stages),
+           Table::num(perm.design.lfsr_stages),
+           Table::num(mini.design.lfsr_stages), cert ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nFree placement subsumes register permutation (it can also overlap\n"
+      "registers on shared stages) and never does worse than MC_TPG; every\n"
+      "result is certified by the algebraic exhaustiveness condition.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// A finding from building the gate-level session emulator: when the MISR's
+// state-transition order (2^w - 1 for a w-bit primitive MISR) divides the
+// exhaustive session length (2^M - 1, which happens whenever w divides M),
+// the periodic error polynomials cancel class-wise and signature aliasing
+// spikes far above the 2^-w folklore rate. This bench sweeps session length
+// around the resonance and prints the measured aliasing.
+
+#include <iostream>
+
+#include "circuits/figures.hpp"
+#include "common/table.hpp"
+#include "core/designer.hpp"
+#include "gate/synth.hpp"
+#include "sim/session.hpp"
+
+int main() {
+  using namespace bibs;
+
+  const rtl::Netlist n = circuits::make_fig12a(4);  // M = 12, 4-bit MISR
+  const gate::Elaboration elab = gate::elaborate(n);
+  const core::DesignResult design = core::design_bibs(n);
+  const core::Kernel* kernel = nullptr;
+  for (const core::Kernel& k : design.report.kernels)
+    if (!k.trivial) kernel = &k;
+  sim::BistSession session(n, elab, design.bilbo, *kernel);
+  const auto faults = session.kernel_faults();
+
+  Table t("MISR aliasing vs session length (M=12 LFSR, 4-bit MISR; "
+          "ord(MISR)=15 divides 2^12-1=4095)");
+  t.header({"cycles", "detected @ outputs", "by signature", "aliased",
+            "aliasing %"});
+  for (std::int64_t cycles :
+       {64, 256, 1023, 1024, 2048, 4094, 4095, 4096, 4097, 8190}) {
+    const auto rep = session.run(faults, cycles);
+    const double pct = rep.detected_at_outputs
+                           ? 100.0 * static_cast<double>(rep.aliased) /
+                                 static_cast<double>(rep.detected_at_outputs)
+                           : 0.0;
+    t.row({Table::num(static_cast<long long>(cycles)),
+           Table::num(rep.detected_at_outputs),
+           Table::num(rep.detected_by_signature), Table::num(rep.aliased),
+           Table::num(pct, 1)});
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nAt multiples of the full LFSR period the aliasing rate jumps an "
+      "order of\nmagnitude: the error stream of each fault is periodic with "
+      "the pattern\nsequence, and summing a full period through a MISR whose "
+      "order divides it\ncollapses the signature difference class-wise. "
+      "Practical consequence: size\nthe SA so 2^w - 1 does not divide the "
+      "session length, or stop the session\noff the period boundary.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Section 2, quantified: why unbalanced kernels and conventional LFSRs do
+// not mix. An unbalanced reconvergence (the Figure 1 shape) compares a value
+// with its one-cycle-delayed self; detecting some of its faults requires a
+// specific *sequence* of two vectors. An LFSR can never produce the
+// sequence (u, u) — consecutive LFSR states are always distinct — so those
+// faults stay undetected forever, while per-cycle random patterns catch
+// them with probability 2^-w per cycle. This is exactly the paper's
+// "conventional LFSRs usually cannot efficiently and effectively generate
+// test sequences" argument, and the reason BIBS insists on balanced
+// (1-step functionally testable) kernels.
+
+#include <iostream>
+
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "gate/netlist.hpp"
+#include "lfsr/lfsr.hpp"
+#include "sim/lane_engine.hpp"
+
+namespace {
+
+using namespace bibs;
+using gate::GateType;
+using gate::NetId;
+
+constexpr int kWidth = 8;
+
+struct Circuit {
+  gate::Netlist nl;
+  std::vector<NetId> q;      // the TPG-driven register
+  std::vector<NetId> delay;  // the delayed branch register
+};
+
+/// Q feeds block C both directly and through a 1-cycle delay register;
+/// C = bitwise XNOR plus an AND-reduce "match" output (asserted iff
+/// Q(t-1) == Q(t)).
+Circuit make_unbalanced() {
+  Circuit c;
+  for (int i = 0; i < kWidth; ++i)
+    c.q.push_back(c.nl.add_dff(gate::kNoNet, "q" + std::to_string(i)));
+  // The TPG register is driven externally every cycle; give each cell a
+  // hold-style D (its own Q) so the netlist validates.
+  for (int i = 0; i < kWidth; ++i)
+    c.nl.set_dff_d(c.q[static_cast<std::size_t>(i)],
+                   c.q[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < kWidth; ++i)
+    c.delay.push_back(
+        c.nl.add_dff(c.q[static_cast<std::size_t>(i)],
+                     "r" + std::to_string(i)));
+  std::vector<NetId> eq;
+  for (int i = 0; i < kWidth; ++i) {
+    eq.push_back(c.nl.add_gate(GateType::kXnor,
+                               {c.q[static_cast<std::size_t>(i)],
+                                c.delay[static_cast<std::size_t>(i)]},
+                               "eq" + std::to_string(i)));
+    c.nl.mark_output(eq.back(), "eq" + std::to_string(i));
+  }
+  NetId match = eq[0];
+  for (int i = 1; i < kWidth; ++i)
+    match = c.nl.add_gate(GateType::kAnd, {match, eq[static_cast<std::size_t>(i)]},
+                          "m" + std::to_string(i));
+  c.nl.mark_output(match, "match");
+  // A bus gated by the match condition: every gate in this cone needs the
+  // (u, u) sequence for excitation, so the whole cone is LFSR-untestable.
+  for (int i = 0; i < kWidth; ++i) {
+    const NetId gated =
+        c.nl.add_gate(GateType::kAnd,
+                      {match, c.delay[static_cast<std::size_t>(i)]},
+                      "gated" + std::to_string(i));
+    c.nl.mark_output(gated, "y" + std::to_string(i));
+  }
+  c.nl.validate();
+  return c;
+}
+
+std::size_t run(const Circuit& c, const fault::FaultList& faults,
+                bool use_lfsr, int cycles) {
+  std::vector<char> det(faults.size(), 0);
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+    sim::LaneEngine eng(c.nl, std::span<const fault::Fault>(faults.faults())
+                                  .subspan(base, batch));
+    lfsr::Type1Lfsr gen(lfsr::primitive_polynomial(kWidth));
+    Xoshiro256 rng(42);
+    std::uint64_t diff = 0;
+    for (int t = 0; t < cycles; ++t) {
+      const std::uint64_t pattern =
+          use_lfsr ? [&] {
+            std::uint64_t v = 0;
+            for (int i = 1; i <= kWidth; ++i)
+              if (gen.stage(i)) v |= 1ull << (i - 1);
+            gen.step();
+            return v;
+          }()
+                   : (rng.next() & ((1ull << kWidth) - 1));
+      for (int i = 0; i < kWidth; ++i)
+        eng.set_dff_state(c.q[static_cast<std::size_t>(i)],
+                          ((pattern >> i) & 1) ? ~0ull : 0ull);
+      eng.eval();
+      for (NetId o : c.nl.outputs()) {
+        const std::uint64_t v = eng.value(o);
+        diff |= v ^ ((v & 1u) ? ~0ull : 0ull);
+      }
+      eng.clock();
+    }
+    for (std::size_t k = 0; k < batch; ++k)
+      if ((diff >> (k + 1)) & 1u) det[base + k] = 1;
+  }
+  std::size_t n = 0;
+  for (char d : det) n += d;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  const Circuit c = make_unbalanced();
+  const fault::FaultList faults = fault::FaultList::collapsed(c.nl);
+
+  Table t("Unbalanced (2-step) kernel: coverage under LFSR vs per-cycle "
+          "random stimulus (" + std::to_string(faults.size()) + " faults)");
+  t.header({"cycles", "LFSR detected", "random detected"});
+  for (int cycles : {255, 1020, 4080, 16320}) {
+    t.row({Table::num(cycles),
+           Table::num(run(c, faults, true, cycles)),
+           Table::num(run(c, faults, false, cycles))});
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nThe gap is structural, not statistical: faults on the AND-reduce\n"
+      "'match' cone need the vector pair (u, u), and consecutive states of a\n"
+      "maximal-length LFSR are never equal — no amount of extra cycles\n"
+      "closes it. Random per-cycle patterns produce (u, u) with probability\n"
+      "2^-8 per cycle and saturate. BIBS avoids the problem at the root by\n"
+      "keeping every kernel balanced (1-step functionally testable), where\n"
+      "single patterns — which LFSRs generate exhaustively — suffice.\n";
+  return 0;
+}

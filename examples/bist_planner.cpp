@@ -1,0 +1,40 @@
+// BIST planner: the end of the BITS flow the paper sketches — read a
+// circuit, choose a TDM, and emit the complete test program (per-session
+// BILBO configurations, LFSR polynomials, clock counts, golden signatures)
+// plus a controller FSM sketch, ready for tester/controller handoff.
+
+#include <iostream>
+
+#include "circuits/datapaths.hpp"
+#include "core/designer.hpp"
+#include "gate/synth.hpp"
+#include "sim/testplan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bibs;
+
+  const std::string which = argc > 1 ? argv[1] : "c3a2m";
+  rtl::Netlist n;
+  if (which == "c5a2m") n = circuits::make_c5a2m();
+  else if (which == "c4a4m") n = circuits::make_c4a4m();
+  else if (which == "fir4") n = circuits::make_fir_datapath(4);
+  else n = circuits::make_c3a2m();
+
+  const gate::Elaboration elab = gate::elaborate(n);
+
+  std::cout << "=== BIBS plan ===\n";
+  const auto bibs_plan =
+      sim::make_test_plan(n, elab, core::design_bibs(n), 8192);
+  std::cout << bibs_plan.to_string(n) << "\n"
+            << bibs_plan.controller_rtl() << "\n";
+
+  std::cout << "=== KA85 [3] plan ===\n";
+  const auto ka_plan = sim::make_test_plan(n, elab, core::design_ka85(n), 8192);
+  std::cout << ka_plan.to_string(n) << "\n" << ka_plan.controller_rtl();
+
+  std::cout << "\nBIBS: " << bibs_plan.bilbo.size() << " BILBOs, "
+            << bibs_plan.total_test_time() << " clocks total; KA85: "
+            << ka_plan.bilbo.size() << " BILBOs, " << ka_plan.total_test_time()
+            << " clocks total — the paper's hardware/test-time trade-off.\n";
+  return 0;
+}

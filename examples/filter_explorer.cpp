@@ -1,0 +1,47 @@
+// Design-space exploration on parameterized FIR data paths: how BIBS and the
+// Krasniewski-Albicki [3] methodology scale with filter size. This is the
+// workload class the paper's introduction motivates (digital filters from a
+// high-level synthesis system), swept from 2 to 12 taps.
+
+#include <iostream>
+
+#include "circuits/datapaths.hpp"
+#include "common/table.hpp"
+#include "core/designer.hpp"
+#include "core/report.hpp"
+#include "gate/synth.hpp"
+
+int main() {
+  using namespace bibs;
+
+  Table t("BIBS vs KA85 across FIR data paths (8-bit)");
+  t.header({"taps", "gates", "registers", "BILBOs (BIBS)", "BILBOs (KA85)",
+            "FFs (BIBS)", "FFs (KA85)", "max delay (BIBS)",
+            "max delay (KA85)", "kernels (KA85)"});
+
+  for (int taps : {2, 3, 4, 6, 8, 10, 12}) {
+    const rtl::Netlist n = circuits::make_fir_datapath(taps);
+    const auto gates = gate::elaborate(n).netlist.gate_count();
+
+    const core::DesignCost bibs =
+        core::evaluate_design(n, core::design_bibs(n).bilbo);
+    const core::DesignCost ka =
+        core::evaluate_design(n, core::design_ka85(n).bilbo);
+
+    t.row({Table::num(taps), Table::num(static_cast<long long>(gates)),
+           Table::num(static_cast<long long>(n.register_edges().size())),
+           Table::num(static_cast<long long>(bibs.bilbo_registers)),
+           Table::num(static_cast<long long>(ka.bilbo_registers)),
+           Table::num(bibs.bilbo_ffs), Table::num(ka.bilbo_ffs),
+           Table::num(bibs.max_delay), Table::num(ka.max_delay),
+           Table::num(static_cast<long long>(ka.kernels))});
+  }
+  t.print(std::cout);
+
+  std::cout <<
+      "\nBIBS converts only the PI/PO boundary (taps+2 registers) regardless\n"
+      "of filter depth, while [3] must convert every pipeline register that\n"
+      "feeds a multiplier or adder port — the gap grows linearly with taps,\n"
+      "and so does the maximal delay penalty of [3].\n";
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "circuits/datapaths.hpp"
+
+namespace bibs::circuits {
+
+using rtl::BlockId;
+using rtl::Netlist;
+
+namespace {
+
+/// PI_<name> --[reg <name>]--> target. Returns the PI block.
+BlockId pi_reg(Netlist& n, const std::string& name, int w, BlockId target) {
+  const BlockId pi = n.add_input(name, w);
+  n.connect_reg(pi, target, name + "_r", w);
+  return pi;
+}
+
+/// A delay chain of `depth` registers carrying the PI `name` into `target`:
+/// PI --[name_r]--> V1 --[name_d1]--> V2 ... --[name_d<depth>]--> target.
+/// These are the data-alignment registers a MABAL schedule inserts so that
+/// operands synthesized in different control steps meet correctly.
+void pi_delayed(Netlist& n, const std::string& name, int w, BlockId target,
+                int depth) {
+  const BlockId pi = n.add_input(name, w);
+  BlockId prev = pi;
+  std::string reg = name + "_r";
+  for (int i = 1; i <= depth; ++i) {
+    const BlockId v = n.add_vacuous(name + "_v" + std::to_string(i), w);
+    n.connect_reg(prev, v, reg, w);
+    reg = name + "_d" + std::to_string(i);
+    prev = v;
+  }
+  n.connect_reg(prev, target, reg, w);
+}
+
+}  // namespace
+
+Netlist make_c5a2m(int w) {
+  Netlist n("c5a2m");
+  const BlockId a1 = n.add_comb("A1", "add", w);
+  const BlockId a2 = n.add_comb("A2", "add", w);
+  const BlockId a3 = n.add_comb("A3", "add", w);
+  const BlockId a4 = n.add_comb("A4", "add", w);
+  const BlockId m1 = n.add_comb("M1", "mul", w);
+  const BlockId m2 = n.add_comb("M2", "mul", w);
+  const BlockId a5 = n.add_comb("A5", "add", w);
+  const BlockId po = n.add_output("o", w);
+
+  pi_reg(n, "a", w, a1);
+  pi_reg(n, "b", w, a1);
+  pi_reg(n, "c", w, a2);
+  pi_reg(n, "d", w, a2);
+  pi_reg(n, "e", w, a3);
+  pi_reg(n, "f", w, a3);
+  pi_reg(n, "g", w, a4);
+  pi_reg(n, "h", w, a4);
+
+  n.connect_reg(a1, m1, "RA1", w);
+  n.connect_reg(a2, m1, "RA2", w);
+  n.connect_reg(a3, m2, "RA3", w);
+  n.connect_reg(a4, m2, "RA4", w);
+  n.connect_reg(m1, a5, "RM1", w);
+  n.connect_reg(m2, a5, "RM2", w);
+  n.connect_reg(a5, po, "o_r", w);
+  n.validate();
+  return n;
+}
+
+Netlist make_c3a2m(int w) {
+  Netlist n("c3a2m");
+  const BlockId a1 = n.add_comb("A1", "add", w);
+  const BlockId m1 = n.add_comb("M1", "mul", w);
+  const BlockId a2 = n.add_comb("A2", "add", w);
+  const BlockId m2 = n.add_comb("M2", "mul", w);
+  const BlockId a3 = n.add_comb("A3", "add", w);
+  const BlockId po = n.add_output("o", w);
+
+  pi_reg(n, "a", w, a1);
+  pi_reg(n, "b", w, a1);
+  n.connect_reg(a1, m1, "RA1", w);
+  pi_delayed(n, "c", w, m1, 1);  // c meets (a+b) one stage later
+  n.connect_reg(m1, a2, "RM1", w);
+  pi_delayed(n, "d", w, a2, 2);
+  n.connect_reg(a2, m2, "RA2", w);
+  pi_delayed(n, "e", w, m2, 3);
+  n.connect_reg(m2, a3, "RM2", w);
+  pi_delayed(n, "f", w, a3, 4);
+  n.connect_reg(a3, po, "o_r", w);
+  n.validate();
+  return n;
+}
+
+Netlist make_c4a4m(int w) {
+  Netlist n("c4a4m");
+  const BlockId a1 = n.add_comb("A1", "add", w);  // f + g
+  const BlockId a2 = n.add_comb("A2", "add", w);  // b + c
+  const BlockId fo1 = n.add_fanout("FO1", w);
+  const BlockId fo2 = n.add_fanout("FO2", w);
+  const BlockId m1 = n.add_comb("M1", "mul", w);  // a * (f+g)
+  const BlockId m2 = n.add_comb("M2", "mul", w);  // e * (b+c)
+  const BlockId m3 = n.add_comb("M3", "mul", w);  // d * (b+c)
+  const BlockId m4 = n.add_comb("M4", "mul", w);  // h * (f+g)
+  const BlockId a3 = n.add_comb("A3", "add", w);  // -> o
+  const BlockId a4 = n.add_comb("A4", "add", w);  // -> p
+  const BlockId po_o = n.add_output("o", w);
+  const BlockId po_p = n.add_output("p", w);
+
+  pi_delayed(n, "a", w, m1, 1);  // a meets (f+g) one stage later
+  pi_reg(n, "b", w, a2);
+  pi_reg(n, "c", w, a2);
+  pi_delayed(n, "d", w, m3, 1);
+  pi_delayed(n, "e", w, m2, 1);
+  pi_reg(n, "f", w, a1);
+  pi_reg(n, "g", w, a1);
+  pi_delayed(n, "h", w, m4, 1);
+
+  n.connect_reg(a1, fo1, "RA1", w);
+  n.connect_reg(a2, fo2, "RA2", w);
+  n.connect_wire(fo1, m1, w);
+  n.connect_wire(fo1, m4, w);
+  n.connect_wire(fo2, m2, w);
+  n.connect_wire(fo2, m3, w);
+
+  n.connect_reg(m1, a3, "RM1", w);
+  n.connect_reg(m2, a3, "RM2", w);
+  n.connect_reg(m3, a4, "RM3", w);
+  n.connect_reg(m4, a4, "RM4", w);
+  n.connect_reg(a3, po_o, "o_r", w);
+  n.connect_reg(a4, po_p, "p_r", w);
+  n.validate();
+  return n;
+}
+
+Netlist make_fir_datapath(int taps, int w) {
+  BIBS_ASSERT(taps >= 2);
+  Netlist n("fir" + std::to_string(taps));
+
+  // Multipliers M_i = x * k_i; x is shared through a fanout block, with
+  // alignment delay chains so the accumulator chain stays balanced.
+  const BlockId fox = n.add_fanout("FOx", w);
+  pi_reg(n, "x", w, fox);
+
+  std::vector<BlockId> mul(static_cast<std::size_t>(taps));
+  for (int i = 1; i <= taps; ++i) {
+    const BlockId m =
+        n.add_comb("M" + std::to_string(i), "mul", w);
+    mul[static_cast<std::size_t>(i - 1)] = m;
+    pi_reg(n, "k" + std::to_string(i), w, m);
+    const int delay = std::max(0, i - 2);
+    if (delay == 0) {
+      n.connect_wire(fox, m, w);
+    } else {
+      BlockId prev = fox;
+      for (int d = 1; d <= delay; ++d) {
+        const BlockId v =
+            n.add_vacuous("xv" + std::to_string(i) + "_" + std::to_string(d),
+                          w);
+        if (d == 1)
+          n.connect_wire(prev, v, w);
+        else
+          n.connect_reg(prev, v,
+                        "xd" + std::to_string(i) + "_" + std::to_string(d - 1),
+                        w);
+        prev = v;
+      }
+      n.connect_reg(prev, m,
+                    "xd" + std::to_string(i) + "_" + std::to_string(delay), w);
+    }
+  }
+
+  // Accumulator chain S_1 = M_1 + M_2, S_j = S_{j-1} + M_{j+1}.
+  BlockId acc = n.add_comb("S1", "add", w);
+  n.connect_reg(mul[0], acc, "RM1", w);
+  n.connect_reg(mul[1], acc, "RM2", w);
+  for (int j = 2; j < taps; ++j) {
+    const BlockId s = n.add_comb("S" + std::to_string(j), "add", w);
+    n.connect_reg(acc, s, "RS" + std::to_string(j - 1), w);
+    n.connect_reg(mul[static_cast<std::size_t>(j)], s,
+                  "RM" + std::to_string(j + 1), w);
+    acc = s;
+  }
+  const BlockId po = n.add_output("y", w);
+  n.connect_reg(acc, po, "y_r", w);
+  n.validate();
+  return n;
+}
+
+}  // namespace bibs::circuits

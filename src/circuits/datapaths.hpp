@@ -1,0 +1,33 @@
+#pragma once
+// The MABAL-synthesized digital-filter data paths of Table 1, reconstructed
+// structurally: 8-bit operands, ripple-carry adders, 8x8 array multipliers
+// with only the 8 least significant product lines fed forward (as stated in
+// the paper), pipeline registers after every functional block, and delay
+// (vacuous-block) register chains where needed to keep the data path
+// balanced — which is what makes the whole circuit a single balanced
+// BISTable kernel under BIBS.
+
+#include "rtl/netlist.hpp"
+
+namespace bibs::circuits {
+
+/// c5a2m: o = (a+b)*(c+d) + (e+f)*(g+h). 5 adders, 2 multipliers,
+/// 15 registers (8 PI, RA1..RA4, RM1, RM2, o).
+rtl::Netlist make_c5a2m(int width = 8);
+
+/// c3a2m: o = ((a+b)*c + d)*e + f. 3 adders, 2 multipliers, 21 registers
+/// (6 PI, delay chains for c/d/e/f of lengths 1/2/3/4, RA1, RM1, RA2, RM2, o).
+rtl::Netlist make_c3a2m(int width = 8);
+
+/// c4a4m: o = a*(f+g) + e*(b+c), p = d*(b+c) + h*(f+g). 4 adders,
+/// 4 multipliers, 20 registers (8 PI, delay regs for a/d/e/h, RA1, RA2,
+/// RM1..RM4, o, p). The shared (f+g) and (b+c) adders fan out through
+/// explicit fanout blocks after their pipeline registers.
+rtl::Netlist make_c4a4m(int width = 8);
+
+/// A parameterized FIR-like data-path generator used by the scaling benches:
+/// `taps` multiply-accumulate stages, each x*k_i feeding an accumulating
+/// adder chain, with balancing delay chains on the accumulator path.
+rtl::Netlist make_fir_datapath(int taps, int width = 8);
+
+}  // namespace bibs::circuits

@@ -1,0 +1,155 @@
+#include "circuits/figures.hpp"
+
+namespace bibs::circuits {
+
+using rtl::BlockId;
+using rtl::Netlist;
+
+Netlist make_fig1(int width) {
+  Netlist n("fig1");
+  const BlockId pi = n.add_input("PI", width);
+  const BlockId f = n.add_fanout("F", width);
+  const BlockId c = n.add_comb("C", "xor", width);
+  const BlockId po = n.add_output("PO", width);
+  n.connect_wire(pi, f, width);
+  n.connect_wire(f, c, width);           // direct branch
+  n.connect_reg(f, c, "R", width);       // delayed branch: the imbalance
+  n.connect_reg(c, po, "RO", width);
+  n.validate();
+  return n;
+}
+
+Netlist make_fig2(int width) {
+  Netlist n("fig2");
+  const BlockId pi = n.add_input("PI", width);
+  const BlockId c1 = n.add_comb("C1", "not", width);
+  const BlockId c2 = n.add_comb("C2", "not", width);
+  const BlockId po = n.add_output("PO", width);
+  n.connect_reg(pi, c1, "R1", width);
+  n.connect_reg(c1, c2, "R2", width);
+  n.connect_reg(c2, po, "RO", width);
+  n.validate();
+  return n;
+}
+
+Netlist make_fig3(int width) {
+  Netlist n("fig3");
+  const BlockId pi = n.add_input("PI", width);
+  const BlockId fo1 = n.add_fanout("FO1", width);
+  const BlockId a = n.add_comb("A", "not", width);
+  const BlockId b = n.add_comb("B", "not", width);
+  const BlockId c = n.add_comb("C", "not", width);
+  const BlockId d = n.add_comb("D", "add", width);
+  const BlockId e = n.add_comb("E", "not", width);
+  const BlockId f = n.add_comb("F", "not", width);
+  const BlockId g = n.add_comb("G", "not", width);
+  const BlockId h = n.add_comb("H", "add", width);
+  const BlockId v1 = n.add_vacuous("V1", width);
+  const BlockId po = n.add_output("PO", width);
+
+  n.connect_reg(pi, fo1, "R1", width);
+  n.connect_wire(fo1, a, width);
+  n.connect_wire(fo1, b, width);
+  n.connect_wire(fo1, c, width);
+  // D has two input ports (the text calls this out explicitly).
+  n.connect_reg(a, d, "R4", width);
+  n.connect_reg(b, v1, "R2", width);   // V1: vacuous block between R2 and R3
+  n.connect_reg(v1, d, "R3", width);
+  n.connect_wire(d, h, width);
+  // URFS branch: FO1 -> C -> E -> G -> H has two register edges while
+  // FO1 -> A -> D -> H has one.
+  n.connect_wire(c, e, width);
+  n.connect_reg(e, g, "R8", width);
+  n.connect_reg(g, h, "R9", width);
+  // Cycle between F and H.
+  n.connect_reg(h, f, "R6", width);
+  n.connect_reg(f, h, "R5", width);
+  n.connect_reg(h, po, "R7", width);
+  n.validate();
+  return n;
+}
+
+Netlist make_fig4(int width) {
+  Netlist n("fig4");
+  const BlockId pi = n.add_input("PI", width);
+  const BlockId c1 = n.add_comb("C1", "not", width);
+  const BlockId c2 = n.add_comb("C2", "not", width);
+  const BlockId c3 = n.add_comb("C3", "not", width);
+  const BlockId c4 = n.add_comb("C4", "not", width);
+  const BlockId c5 = n.add_comb("C5", "not", width);
+  const BlockId c6 = n.add_comb("C6", "add", width);
+  const BlockId po = n.add_output("PO", width);
+
+  n.connect_reg(pi, c1, "R1", width);
+  n.connect_reg(c1, c2, "R2", width);   // internal to kernel 1
+  // Kernel-1 outputs (the SAs of the first test session).
+  n.connect_reg(c2, c3, "R3", width);
+  n.connect_reg(c1, c4, "R7", width);
+  n.connect_reg(c2, c5, "R8", width);
+  n.connect_reg(c2, c6, "R9", width);
+  // Kernel 2: C3/C4/C5 converge on C6 with matched-by-design imbalance in
+  // the *unconverted* circuit (paths C1 -> C6 of sequential lengths 1..3).
+  n.connect_reg(c3, c6, "R4", width);
+  n.connect_wire(c4, c6, width);
+  n.connect_reg(c5, c6, "R5", width);
+  n.connect_reg(c6, po, "R6", width);
+  n.validate();
+  return n;
+}
+
+std::vector<std::string> fig4_example_bilbos() {
+  return {"R1", "R3", "R6", "R7", "R8", "R9"};
+}
+
+Netlist make_fig9() {
+  Netlist n("fig9");
+  const BlockId pi1 = n.add_input("PI1", 6);
+  const BlockId pi2 = n.add_input("PI2", 6);
+  const BlockId pi3 = n.add_input("PI3", 4);
+  const BlockId pi4 = n.add_input("PI4", 5);
+  const BlockId b1 = n.add_comb("B1", "generic", 6);
+  const BlockId b2 = n.add_comb("B2", "generic", 5);
+  const BlockId v1 = n.add_vacuous("V1", 4);
+  const BlockId v2 = n.add_vacuous("V2", 5);
+  const BlockId po1 = n.add_output("PO1", 5);
+  const BlockId po2 = n.add_output("PO2", 6);
+
+  n.connect_reg(pi1, b1, "P1", 6);
+  n.connect_reg(pi2, b1, "P2", 6);
+  n.connect_reg(pi3, v1, "P3", 4);
+  n.connect_reg(pi4, v2, "P4", 5);
+  n.connect_reg(v2, b1, "M4", 5);  // balancing delay chain into B1
+  n.connect_reg(b1, b2, "M1", 6);
+  n.connect_reg(v1, b2, "M3", 4);  // balancing delay chain into B2
+  n.connect_reg(b2, b1, "M2", 5);  // feedback: the cycle that forces 2 BILBOs
+  n.connect_reg(b2, po1, "O1", 5);
+  n.connect_reg(b1, po2, "O2", 6);
+  n.validate();
+  return n;
+}
+
+Netlist make_fig12a(int w) {
+  Netlist n("fig12a");
+  const BlockId pi1 = n.add_input("PI1", w);
+  const BlockId pi2 = n.add_input("PI2", w);
+  const BlockId pi3 = n.add_input("PI3", w);
+  const BlockId c1 = n.add_comb("C1", "not", w);
+  const BlockId c2 = n.add_comb("C2", "not", w);
+  const BlockId c4 = n.add_comb("C4", "not", w);
+  const BlockId c3 = n.add_comb("C3", "add", w);
+  const BlockId c5 = n.add_comb("C5", "not", w);
+  const BlockId po = n.add_output("PO", w);
+
+  n.connect_reg(pi1, c1, "R1", w);
+  n.connect_reg(c1, c2, "Ra", w);
+  n.connect_reg(c2, c3, "Rb", w);  // d(R1 -> C3) = 2
+  n.connect_reg(pi2, c4, "R2", w);
+  n.connect_reg(c4, c3, "Rc", w);  // d(R2 -> C3) = 1
+  n.connect_reg(pi3, c3, "R3", w);  // d(R3 -> C3) = 0
+  n.connect_wire(c3, c5, w);        // C5: the single-input-port block
+  n.connect_reg(c5, po, "RO", w);
+  n.validate();
+  return n;
+}
+
+}  // namespace bibs::circuits

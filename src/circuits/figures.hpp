@@ -1,0 +1,46 @@
+#pragma once
+// RTL reconstructions of the paper's illustrative figures. The paper prints
+// the figures but not full netlists, so these builders reproduce every
+// structural property the text states (path lengths, cycles, URFSs, port
+// counts, register counts and widths); tests assert those properties.
+
+#include "rtl/netlist.hpp"
+
+namespace bibs::circuits {
+
+/// Figure 1: an unbalanced circuit — PI feeds fanout block F, which feeds
+/// combinational block C both directly and through register R. Every
+/// detectable fault is 2-pattern detectable; the circuit is 2-step
+/// functionally testable.
+rtl::Netlist make_fig1(int width = 4);
+
+/// Figure 2: a 1-step functionally testable pipeline
+/// PI -> R1 -> C1 -> R2 -> C2 -> PO.
+rtl::Netlist make_fig2(int width = 4);
+
+/// Figure 3: the example circuit of Section 3.1 — blocks A..H, a fanout
+/// vertex FO1 after R1, a vacuous vertex V1 between R2 and R3, a cycle
+/// between F and H, and an URFS through {FO1, A, C, D, E, G, H}.
+rtl::Netlist make_fig3(int width = 8);
+
+/// Figure 4 (Example 1): an unbalanced circuit with nine registers where
+/// converting {R1, R3, R6, R7, R8, R9} yields two balanced BISTable kernels:
+/// kernel 1 tested with R1 as TPG and R3/R7/R8/R9 as SAs, kernel 2 with
+/// R3/R7/R8/R9 as TPGs and R6 as SA. (Topology reconstructed from the
+/// example's session description.)
+rtl::Netlist make_fig4(int width = 8);
+
+/// The BILBO set of Example 1 for make_fig4 (register names).
+std::vector<std::string> fig4_example_bilbos();
+
+/// Figure 9: the example circuit employed in [3] (reconstruction). The KA85
+/// methodology converts 10 registers totalling 52 flip-flops; BIBS converts
+/// 8 registers totalling 43 flip-flops; both partition the circuit into two
+/// kernels.
+rtl::Netlist make_fig9();
+
+/// Figure 12(a): the single-cone balanced BISTable kernel of Example 2 —
+/// three 4-bit input registers with sequential lengths 2, 1, 0 to the cone.
+rtl::Netlist make_fig12a(int reg_width = 4);
+
+}  // namespace bibs::circuits

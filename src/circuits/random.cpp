@@ -1,0 +1,87 @@
+#include "circuits/random.hpp"
+
+#include "common/prng.hpp"
+
+namespace bibs::circuits {
+
+using rtl::BlockId;
+using rtl::Netlist;
+
+Netlist make_random_circuit(const RandomCircuitOptions& opt) {
+  BIBS_ASSERT(opt.comb_blocks >= 1 && opt.width >= 1);
+  Xoshiro256 rng(opt.seed);
+  Netlist n("random" + std::to_string(opt.seed));
+  int reg_counter = 0;
+  auto reg_name = [&] { return "r" + std::to_string(reg_counter++); };
+
+  // Primary inputs (always registered: the BIBS boundary requirement).
+  const int npi = 2 + static_cast<int>(rng.next_below(2));
+  std::vector<BlockId> sources;
+  std::vector<BlockId> pis;
+  for (int i = 0; i < npi; ++i)
+    pis.push_back(n.add_input("x" + std::to_string(i), opt.width));
+
+  // Comb blocks in topological order; each consumes 1-3 earlier outputs.
+  std::vector<BlockId> blocks;
+  for (int b = 0; b < opt.comb_blocks; ++b) {
+    int arity = 1;
+    if (rng.next_double() < opt.extra_input_probability) ++arity;
+    if (arity == 2 && rng.next_double() < opt.extra_input_probability) ++arity;
+    const char* op = arity == 1 ? "not" : (rng.next_below(2) ? "add" : "xor");
+    const BlockId blk =
+        n.add_comb("b" + std::to_string(b), op, opt.width);
+    for (int a = 0; a < arity; ++a) {
+      // Source: a PI (first input of the first blocks) or an earlier block.
+      BlockId src;
+      bool from_pi = blocks.empty() || rng.next_below(4) == 0;
+      if (from_pi) {
+        src = pis[rng.next_below(pis.size())];
+        // PI connections are always registered.
+        n.connect_reg(src, blk, reg_name(), opt.width);
+        continue;
+      }
+      src = blocks[rng.next_below(blocks.size())];
+      if (rng.next_double() < opt.reg_probability)
+        n.connect_reg(src, blk, reg_name(), opt.width);
+      else
+        n.connect_wire(src, blk, opt.width);
+    }
+    blocks.push_back(blk);
+  }
+
+  if (opt.add_cycle && blocks.size() >= 2) {
+    // Registered feedback from a late block into an early n-ary block (the
+    // extra port keeps "add"/"xor" elaboratable; "not" blocks are skipped).
+    for (std::size_t to = 0; to < blocks.size() / 2; ++to) {
+      if (n.block(blocks[to]).op == "not") continue;
+      const std::size_t from =
+          blocks.size() / 2 +
+          rng.next_below(blocks.size() - blocks.size() / 2);
+      n.connect_reg(blocks[from], blocks[to], reg_name(), opt.width);
+      break;
+    }
+  }
+
+  // Every sink (block with no fan-out) drives a registered PO.
+  int po_counter = 0;
+  for (BlockId b : blocks) {
+    if (!n.fanout(b).empty()) continue;
+    const BlockId po =
+        n.add_output("y" + std::to_string(po_counter++), opt.width);
+    n.connect_reg(b, po, reg_name(), opt.width);
+  }
+  // Unused PIs would fail validation; tie them to an extra sink block.
+  for (BlockId pi : pis) {
+    if (!n.fanout(pi).empty()) continue;
+    const BlockId blk = n.add_comb("tie" + std::to_string(pi), "not",
+                                   opt.width);
+    n.connect_reg(pi, blk, reg_name(), opt.width);
+    const BlockId po =
+        n.add_output("y" + std::to_string(po_counter++), opt.width);
+    n.connect_reg(blk, po, reg_name(), opt.width);
+  }
+  n.validate();
+  return n;
+}
+
+}  // namespace bibs::circuits

@@ -1,0 +1,29 @@
+#pragma once
+// Seeded random RTL circuit generator for property-based testing of the
+// whole pipeline (parse -> analyze -> design -> TPG -> fault-simulate).
+
+#include <cstdint>
+
+#include "rtl/netlist.hpp"
+
+namespace bibs::circuits {
+
+struct RandomCircuitOptions {
+  int comb_blocks = 8;
+  int width = 4;
+  /// Probability that an internal connection is a register edge. With 1.0
+  /// every edge is registered and a BIBS design always exists.
+  double reg_probability = 0.7;
+  /// Probability that a block takes a second/third input port.
+  double extra_input_probability = 0.5;
+  /// Add one registered feedback edge, creating a sequential cycle.
+  bool add_cycle = false;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a valid (Netlist::validate-clean) circuit: a topologically
+/// ordered chain of comb blocks fed by 2-3 PIs through registers, random
+/// wire/register internal edges, and registered PO(s) for every sink block.
+rtl::Netlist make_random_circuit(const RandomCircuitOptions& opt);
+
+}  // namespace bibs::circuits

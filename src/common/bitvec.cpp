@@ -1,0 +1,54 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+
+namespace bibs {
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1')
+      v.set(i, true);
+    else if (bits[i] != '0')
+      throw ParseError("BitVec::from_string: invalid character '" +
+                       std::string(1, bits[i]) + "'");
+  }
+  return v;
+}
+
+std::size_t BitVec::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::any() const {
+  for (std::uint64_t w : words_)
+    if (w) return true;
+  return false;
+}
+
+std::uint64_t BitVec::extract(std::size_t lo, std::size_t width) const {
+  BIBS_ASSERT(width <= 64 && lo + width <= nbits_);
+  if (width == 0) return 0;
+  const std::size_t wi = lo >> 6;
+  const std::size_t sh = lo & 63;
+  std::uint64_t value = words_[wi] >> sh;
+  if (sh + width > 64) value |= words_[wi + 1] << (64 - sh);
+  if (width < 64) value &= (~0ull >> (64 - width));
+  return value;
+}
+
+void BitVec::deposit(std::size_t lo, std::size_t width, std::uint64_t value) {
+  BIBS_ASSERT(width <= 64 && lo + width <= nbits_);
+  for (std::size_t i = 0; i < width; ++i) set(lo + i, (value >> i) & 1u);
+}
+
+std::string BitVec::to_string() const {
+  std::string s(nbits_, '0');
+  for (std::size_t i = 0; i < nbits_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+}  // namespace bibs

@@ -1,0 +1,78 @@
+#pragma once
+// A compact dynamic bit vector used for LFSR states, pattern buffers and
+// coverage sets. std::vector<bool> is avoided on purpose: BitVec exposes
+// word-level access which the pattern-parallel fault simulator relies on.
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bibs {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_((nbits + 63) / 64, value ? ~0ull : 0ull) {
+    trim();
+  }
+
+  /// Builds a BitVec from a string of '0'/'1', most significant (index 0) first.
+  static BitVec from_string(const std::string& bits);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    BIBS_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    BIBS_ASSERT(i < nbits_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+  bool operator[](std::size_t i) const { return get(i); }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0ull); }
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.resize((nbits + 63) / 64, 0ull);
+    trim();
+  }
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// Interprets bits [lo, lo+width) as an unsigned integer, bit lo = LSB.
+  std::uint64_t extract(std::size_t lo, std::size_t width) const;
+  /// Stores the low `width` bits of `value` at [lo, lo+width).
+  void deposit(std::size_t lo, std::size_t width, std::uint64_t value);
+
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> words() { return words_; }
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// "0"/"1" string, index 0 first.
+  std::string to_string() const;
+
+ private:
+  void trim() {
+    if (nbits_ & 63) words_.back() &= (~0ull >> (64 - (nbits_ & 63)));
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bibs

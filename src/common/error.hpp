@@ -1,0 +1,48 @@
+#pragma once
+// Error types shared by all bibs subsystems.
+//
+// Policy: user-facing errors (bad netlist text, infeasible design request)
+// throw an exception derived from bibs::Error; internal invariant violations
+// use BIBS_ASSERT, which throws bibs::InternalError so that tests can observe
+// them and release builds fail loudly instead of corrupting results.
+
+#include <stdexcept>
+#include <string>
+
+namespace bibs {
+
+/// Base class for all errors raised by the bibs library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed netlist text or inconsistent circuit description.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A structural precondition of an algorithm does not hold
+/// (e.g. asking for a balanced-kernel TPG on an unbalanced kernel).
+class DesignError : public Error {
+ public:
+  explicit DesignError(const std::string& what) : Error("design error: " + what) {}
+};
+
+/// Violated internal invariant; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw InternalError(std::string(expr) + " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace bibs
+
+#define BIBS_ASSERT(expr) \
+  ((expr) ? (void)0 : ::bibs::detail::assert_fail(#expr, __FILE__, __LINE__))

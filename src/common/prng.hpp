@@ -1,0 +1,32 @@
+#pragma once
+// Deterministic PRNG used for random-pattern testing (the paper's Table 2
+// experiments used true random patterns rather than LFSR streams; we use a
+// seeded xoshiro256** so every bench run prints identical rows).
+
+#include <cstdint>
+
+namespace bibs {
+
+/// xoshiro256** 1.0 (Blackman/Vigna), seeded via splitmix64.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bibs

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bibs {
+
+void Table::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void Table::row(std::vector<std::string> cells) {
+  BIBS_ASSERT(header_.empty() || cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(long long v) {
+  // Thousands separators, as in the paper's tables (e.g. "2,542").
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << c << std::string(widths[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+}
+
+}  // namespace bibs

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal ASCII table printer used by the benchmark harnesses so that every
+// bench binary reproduces a paper table in the same visual layout.
+
+#include <concepts>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bibs {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; column count is fixed from this call on.
+  void header(std::vector<std::string> cells);
+  /// Appends a data row; must match the header width.
+  void row(std::vector<std::string> cells);
+  /// Renders the table with box-drawing rules.
+  void print(std::ostream& os) const;
+
+  static std::string num(long long v);
+  template <std::integral T>
+  static std::string num(T v) {
+    return num(static_cast<long long>(v));
+  }
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bibs

@@ -1,0 +1,369 @@
+#include "core/designer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bibs::core {
+
+using rtl::BlockId;
+using rtl::BlockKind;
+using rtl::ConnId;
+using rtl::Netlist;
+
+namespace {
+
+/// PI out-edges and PO in-edges; all must be register edges.
+std::vector<ConnId> boundary_edges(const Netlist& n) {
+  std::vector<ConnId> out;
+  for (const rtl::Connection& c : n.connections()) {
+    const bool boundary = n.block(c.from).kind == BlockKind::kInput ||
+                          n.block(c.to).kind == BlockKind::kOutput;
+    if (!boundary) continue;
+    if (!c.is_register())
+      throw DesignError(
+          "PI/PO port connection without a register (run "
+          "ensure_boundary_registers first)");
+    out.push_back(c.id);
+  }
+  return out;
+}
+
+std::vector<ConnId> internal_register_edges(const Netlist& n) {
+  std::vector<ConnId> out;
+  for (const rtl::Connection& c : n.connections()) {
+    if (!c.is_register()) continue;
+    if (n.block(c.from).kind == BlockKind::kInput ||
+        n.block(c.to).kind == BlockKind::kOutput)
+      continue;
+    out.push_back(c.id);
+  }
+  return out;
+}
+
+int set_cost(const Netlist& n, const BilboSet& b) {
+  int bits = 0;
+  for (ConnId e : b) bits += n.connection(e).reg->width;
+  return bits;
+}
+
+/// Exhaustive minimum-cost subset search over the internal candidates.
+BilboSet exact_search(const Netlist& n, const BilboSet& mandatory,
+                      const std::vector<ConnId>& candidates,
+                      const BilboSet& cbilbo = {}) {
+  const std::size_t k = candidates.size();
+  BIBS_ASSERT(k <= 24);
+  BilboSet best;
+  int best_cost = std::numeric_limits<int>::max();
+  for (std::uint64_t mask = 0; mask < (1ull << k); ++mask) {
+    BilboSet b = mandatory;
+    for (std::size_t i = 0; i < k; ++i)
+      if ((mask >> i) & 1u) b.insert(candidates[i]);
+    const int cost = set_cost(n, b);
+    if (cost >= best_cost) continue;
+    if (check_bibs_testable(n, BistRegisters{b, cbilbo}).ok) {
+      best = std::move(b);
+      best_cost = cost;
+    }
+  }
+  if (best_cost == std::numeric_limits<int>::max())
+    throw DesignError(
+        "no BILBO assignment makes this circuit balanced BISTable; a cycle "
+        "with one register edge needs an inserted register or a CBILBO");
+  return best;
+}
+
+/// Greedy repair: while violations remain, convert the cheapest candidate
+/// register that reduces the violation count the most.
+BilboSet greedy_search(const Netlist& n, const BilboSet& mandatory,
+                       const std::vector<ConnId>& candidates,
+                       const BilboSet& cbilbo = {}) {
+  BilboSet b = mandatory;
+  auto violations = [&](const BilboSet& s) {
+    return check_bibs_testable(n, BistRegisters{s, cbilbo}).violations.size();
+  };
+  std::size_t cur = violations(b);
+  std::vector<ConnId> remaining = candidates;
+  while (cur > 0) {
+    std::size_t best_v = cur;
+    double best_score = -1;
+    std::size_t best_i = remaining.size();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      BilboSet t = b;
+      t.insert(remaining[i]);
+      const std::size_t v = violations(t);
+      if (v >= cur) continue;
+      const double score =
+          static_cast<double>(cur - v) /
+          static_cast<double>(n.connection(remaining[i]).reg->width);
+      if (score > best_score) {
+        best_score = score;
+        best_v = v;
+        best_i = i;
+      }
+    }
+    if (best_i == remaining.size()) {
+      // No single addition helps; add the cheapest remaining and continue
+      // (violation counts are not matroidal, pairs may be needed).
+      if (remaining.empty())
+        throw DesignError("greedy BIBS search failed to converge");
+      best_i = 0;
+      for (std::size_t i = 1; i < remaining.size(); ++i)
+        if (n.connection(remaining[i]).reg->width <
+            n.connection(remaining[best_i]).reg->width)
+          best_i = i;
+      BilboSet t = b;
+      t.insert(remaining[best_i]);
+      best_v = violations(t);
+    }
+    b.insert(remaining[best_i]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_i));
+    cur = best_v;
+  }
+  // Reverse pass: drop converted registers that are not actually needed.
+  std::vector<ConnId> added;
+  for (ConnId e : b)
+    if (!mandatory.count(e)) added.push_back(e);
+  std::sort(added.begin(), added.end(), [&](ConnId a, ConnId c) {
+    return n.connection(a).reg->width > n.connection(c).reg->width;
+  });
+  for (ConnId e : added) {
+    BilboSet t = b;
+    t.erase(e);
+    if (check_bibs_testable(n, BistRegisters{t, cbilbo}).ok) b = std::move(t);
+  }
+  return b;
+}
+
+}  // namespace
+
+DesignResult design_bibs(const Netlist& n, const BibsOptions& opt) {
+  n.validate();
+  BilboSet mandatory;
+  for (ConnId e : boundary_edges(n)) mandatory.insert(e);
+
+  DesignResult res;
+  {
+    // Fast path: boundary conversion alone (the common case for balanced
+    // data paths, and the reason BIBS is cheap).
+    auto rep = check_bibs_testable(n, mandatory);
+    if (rep.ok) {
+      res.bilbo = std::move(mandatory);
+      res.report = std::move(rep);
+      return res;
+    }
+  }
+
+  const auto candidates = internal_register_edges(n);
+  res.bilbo = (static_cast<int>(candidates.size()) <= opt.exact_search_limit)
+                  ? exact_search(n, mandatory, candidates)
+                  : greedy_search(n, mandatory, candidates);
+  res.report = check_bibs_testable(n, res.bilbo);
+  BIBS_ASSERT(res.report.ok);
+  return res;
+}
+
+namespace {
+
+/// Traces an input-port connection backwards through fanout/vacuous blocks
+/// to the register edge driving it; kNoNet-style -1 when a PI or comb block
+/// is reached first.
+ConnId trace_driving_register(const Netlist& n, ConnId e) {
+  for (;;) {
+    const rtl::Connection& c = n.connection(e);
+    if (c.is_register()) return c.id;
+    const rtl::Block& src = n.block(c.from);
+    if (src.kind == BlockKind::kFanout || src.kind == BlockKind::kVacuous) {
+      e = n.fanin(c.from).at(0);
+      continue;
+    }
+    return -1;
+  }
+}
+
+}  // namespace
+
+DesignResult design_ka85(const Netlist& n) {
+  n.validate();
+  BilboSet b;
+  // Criterion 2: PI/PO port registers.
+  for (ConnId e : boundary_edges(n)) b.insert(e);
+
+  // Criterion 1: a BILBO for every input port of a block with more than one
+  // input port.
+  for (const rtl::Block& blk : n.blocks()) {
+    if (blk.kind != BlockKind::kComb) continue;
+    const auto& in = n.fanin(blk.id);
+    if (in.size() < 2) continue;
+    for (ConnId e : in) {
+      const ConnId reg = trace_driving_register(n, e);
+      if (reg == -1)
+        throw DesignError("block '" + blk.name +
+                          "' has a multi-port input with no driving register "
+                          "(KA85 requires one)");
+      b.insert(reg);
+    }
+  }
+
+  // Criterion 3: at least two BILBO registers in every cycle.
+  for (const auto& cycle : graph::find_cycles(n)) {
+    int have = 0;
+    for (ConnId e : cycle)
+      if (b.count(e)) ++have;
+    if (have >= 2) continue;
+    // Convert the cheapest register edges of the cycle until two are BILBO.
+    std::vector<ConnId> regs;
+    for (ConnId e : cycle)
+      if (n.connection(e).is_register() && !b.count(e)) regs.push_back(e);
+    std::sort(regs.begin(), regs.end(), [&](ConnId x, ConnId y) {
+      return n.connection(x).reg->width < n.connection(y).reg->width;
+    });
+    for (ConnId e : regs) {
+      if (have >= 2) break;
+      b.insert(e);
+      ++have;
+    }
+    if (have < 2)
+      throw DesignError(
+          "cycle with fewer than two register edges: insert a register or "
+          "use a CBILBO");
+  }
+
+  DesignResult res;
+  res.bilbo = std::move(b);
+  res.report = check_bibs_testable(n, res.bilbo);
+  return res;
+}
+
+BilboSet design_partial_scan(const Netlist& n, const BibsOptions& opt) {
+  n.validate();
+  const std::vector<ConnId> candidates = [&] {
+    std::vector<ConnId> all;
+    for (const rtl::Connection& c : n.connections())
+      if (c.is_register()) all.push_back(c.id);
+    return all;
+  }();
+
+  auto balanced_without = [&](const BilboSet& scan) {
+    graph::EdgeSet removed(scan.begin(), scan.end());
+    return graph::check_balanced(n, removed).balanced;
+  };
+  if (balanced_without({})) return {};
+
+  if (static_cast<int>(candidates.size()) <= opt.exact_search_limit) {
+    BilboSet best;
+    int best_cost = std::numeric_limits<int>::max();
+    const std::size_t k = candidates.size();
+    for (std::uint64_t mask = 1; mask < (1ull << k); ++mask) {
+      BilboSet scan;
+      for (std::size_t i = 0; i < k; ++i)
+        if ((mask >> i) & 1u) scan.insert(candidates[i]);
+      const int cost = set_cost(n, scan);
+      if (cost >= best_cost) continue;
+      if (balanced_without(scan)) {
+        best = std::move(scan);
+        best_cost = cost;
+      }
+    }
+    if (best_cost == std::numeric_limits<int>::max())
+      throw DesignError("no scan assignment balances this circuit");
+    return best;
+  }
+
+  // Greedy: add the cheapest register that reduces URFS witnesses + cycles.
+  BilboSet scan;
+  auto badness = [&](const BilboSet& s) {
+    graph::EdgeSet removed(s.begin(), s.end());
+    std::size_t bad = graph::find_all_urfs(n, removed, 64).size();
+    bad += graph::find_cycles(n, 64).size() -
+           [&] {  // cycles already broken by the scan set
+             std::size_t broken = 0;
+             for (const auto& cyc : graph::find_cycles(n, 64))
+               for (ConnId e : cyc)
+                 if (s.count(e)) {
+                   ++broken;
+                   break;
+                 }
+             return broken;
+           }();
+    return bad;
+  };
+  std::size_t cur = badness(scan);
+  std::vector<ConnId> remaining = candidates;
+  while (cur > 0 && !remaining.empty()) {
+    std::size_t best_i = 0;
+    std::size_t best_v = cur;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      BilboSet t = scan;
+      t.insert(remaining[i]);
+      const std::size_t v = badness(t);
+      if (v < best_v) {
+        best_v = v;
+        best_i = i;
+      }
+    }
+    scan.insert(remaining[best_i]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_i));
+    cur = badness(scan);
+  }
+  if (!balanced_without(scan))
+    throw DesignError("greedy partial-scan search failed to converge");
+  return scan;
+}
+
+CbilboDesignResult design_bibs_cbilbo(const Netlist& n,
+                                      const BibsOptions& opt) {
+  n.validate();
+  CbilboDesignResult res;
+  for (const auto& cycle : cycles_needing_cbilbo(n))
+    for (ConnId e : cycle)
+      if (n.connection(e).is_register()) res.regs.cbilbo.insert(e);
+
+  BilboSet mandatory;
+  for (ConnId e : boundary_edges(n)) mandatory.insert(e);
+
+  {
+    auto rep = check_bibs_testable(n, BistRegisters{mandatory, res.regs.cbilbo});
+    if (rep.ok) {
+      res.regs.bilbo = std::move(mandatory);
+      res.report = std::move(rep);
+      return res;
+    }
+  }
+  std::vector<ConnId> candidates;
+  for (ConnId e : internal_register_edges(n))
+    if (!res.regs.cbilbo.count(e)) candidates.push_back(e);
+  res.regs.bilbo =
+      (static_cast<int>(candidates.size()) <= opt.exact_search_limit)
+          ? exact_search(n, mandatory, candidates, res.regs.cbilbo)
+          : greedy_search(n, mandatory, candidates, res.regs.cbilbo);
+  res.report = check_bibs_testable(n, res.regs);
+  BIBS_ASSERT(res.report.ok);
+  return res;
+}
+
+std::vector<ConnId> ensure_boundary_registers(Netlist& n) {
+  std::vector<ConnId> inserted;
+  for (const rtl::Connection& c : n.connections()) {
+    const bool from_pi = n.block(c.from).kind == BlockKind::kInput;
+    const bool to_po = n.block(c.to).kind == BlockKind::kOutput;
+    if (!(from_pi || to_po) || c.is_register()) continue;
+    const std::string base =
+        from_pi ? n.block(c.from).name : n.block(c.to).name;
+    n.insert_register_on_wire(c.id, base + "_br");
+    inserted.push_back(c.id);
+  }
+  return inserted;
+}
+
+std::vector<std::vector<ConnId>> cycles_needing_cbilbo(const Netlist& n) {
+  std::vector<std::vector<ConnId>> out;
+  for (const auto& cycle : graph::find_cycles(n)) {
+    int regs = 0;
+    for (ConnId e : cycle)
+      if (n.connection(e).is_register()) ++regs;
+    if (regs == 1) out.push_back(cycle);
+  }
+  return out;
+}
+
+}  // namespace bibs::core

@@ -1,0 +1,71 @@
+#pragma once
+// The two testable-design methodologies compared in the paper:
+//
+//  * design_bibs: the paper's contribution. Converts the PI/PO boundary
+//    registers plus a minimum-cost set of internal registers so that every
+//    kernel is balanced BISTable (exact branch-and-bound for small circuits,
+//    greedy repair beyond that).
+//  * design_ka85: Krasniewski & Albicki [3]. Converts the register feeding
+//    every input port of each multi-input-port block, every PI/PO port
+//    register, and enough registers for two BILBOs per cycle. Theorem 3:
+//    every design produced this way is also balanced BISTable; the converse
+//    fails, which is where BIBS saves hardware.
+
+#include "core/kernels.hpp"
+
+namespace bibs::core {
+
+struct DesignResult {
+  BilboSet bilbo;
+  TestabilityReport report;  ///< the final (passing) check
+};
+
+struct BibsOptions {
+  /// Exhaustive subset search up to this many internal candidate registers;
+  /// greedy repair above.
+  int exact_search_limit = 16;
+};
+
+/// BIBS design. Throws bibs::DesignError if a PI or PO port is connected by
+/// a wire edge (insert a register first — see ensure_boundary_registers) or
+/// if even converting every register fails (e.g. a cycle with a single
+/// register edge, which needs an added register or a CBILBO; see
+/// needs_cbilbo()).
+DesignResult design_bibs(const rtl::Netlist& n, const BibsOptions& = {});
+
+/// Krasniewski-Albicki [3] design. Input ports are traced backwards through
+/// fanout and vacuous blocks to the nearest register edge; throws
+/// bibs::DesignError if a multi-port block input has no register behind it.
+DesignResult design_ka85(const rtl::Netlist& n);
+
+/// Inserts a register on every PI out-edge and PO in-edge that is currently
+/// a wire, naming them <pi>_br / <po>_br. Returns the inserted edges.
+std::vector<rtl::ConnId> ensure_boundary_registers(rtl::Netlist& n);
+
+/// Cycles that contain exactly one register edge: Theorem 2's corner case —
+/// they require either an inserted transparent register or a CBILBO.
+std::vector<std::vector<rtl::ConnId>> cycles_needing_cbilbo(
+    const rtl::Netlist& n);
+
+/// BALLAST-style [8, 11] partial scan for comparison with BIBS: the minimum
+/// cost set of registers to convert to *scan* registers so that the
+/// remaining circuit is balanced. A scan register acts as pseudo-PI and
+/// pseudo-PO simultaneously, so only conditions 1-2 of Definition 1 apply —
+/// which is exactly why a minimal scan solution can be smaller than the
+/// minimal BIBS solution (Example 1's point).
+BilboSet design_partial_scan(const rtl::Netlist& n, const BibsOptions& = {});
+
+struct CbilboDesignResult {
+  BistRegisters regs;
+  TestabilityReport report;
+};
+
+/// BIBS design that falls back to CBILBO registers where unavoidable: the
+/// register of every single-register-edge cycle becomes a CBILBO (exempt
+/// from condition 3), and the usual minimum-cost BILBO search runs on top.
+/// This is the paper's "CBILBO registers are only used when necessary"
+/// policy made executable.
+CbilboDesignResult design_bibs_cbilbo(const rtl::Netlist& n,
+                                      const BibsOptions& = {});
+
+}  // namespace bibs::core

@@ -1,0 +1,102 @@
+#include "core/explore.hpp"
+
+#include <algorithm>
+
+#include "core/designer.hpp"
+#include "core/schedule.hpp"
+
+namespace bibs::core {
+
+namespace {
+
+DesignPoint evaluate_point(const rtl::Netlist& n, const BilboSet& b,
+                           const TestabilityReport& rep) {
+  DesignPoint p;
+  p.bilbo = b;
+  for (rtl::ConnId e : b) p.bilbo_ffs += n.connection(e).reg->width;
+  std::vector<Kernel> kernels;
+  for (const Kernel& k : rep.kernels)
+    if (!k.trivial) kernels.push_back(k);
+  p.kernels = kernels.size();
+  p.sessions = schedule_sessions(n, kernels).sessions;
+  for (const Kernel& k : kernels) {
+    int width = 0;
+    for (rtl::ConnId e : k.input_regs) width += n.connection(e).reg->width;
+    p.max_kernel_width = std::max(p.max_kernel_width, width);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n) {
+  const DesignResult base = design_bibs(n);
+  std::vector<DesignPoint> frontier;
+  frontier.push_back(evaluate_point(n, base.bilbo, base.report));
+
+  BilboSet current = base.bilbo;
+  std::vector<rtl::ConnId> candidates;
+  for (const rtl::Connection& c : n.connections())
+    if (c.is_register() && !current.count(c.id)) candidates.push_back(c.id);
+
+  while (!candidates.empty()) {
+    // Convert the candidate that most reduces the maximal kernel width
+    // while keeping the design valid.
+    int best_width = frontier.back().max_kernel_width;
+    std::size_t best_i = candidates.size();
+    DesignPoint best_point;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      BilboSet t = current;
+      t.insert(candidates[i]);
+      const TestabilityReport rep = check_bibs_testable(n, t);
+      if (!rep.ok) continue;
+      const DesignPoint p = evaluate_point(n, t, rep);
+      if (p.max_kernel_width < best_width ||
+          (best_i == candidates.size() && p.max_kernel_width <= best_width)) {
+        best_width = p.max_kernel_width;
+        best_i = i;
+        best_point = p;
+      }
+    }
+    if (best_i == candidates.size()) {
+      // No single register can be converted alone (condition 3 demands some
+      // conversions come in pairs, e.g. the two inputs of a reconverging
+      // block). Try pairs before giving up.
+      std::size_t pa = candidates.size(), pb = candidates.size();
+      DesignPoint pair_point;
+      int pair_width = frontier.back().max_kernel_width + 1;
+      for (std::size_t i = 0; i < candidates.size(); ++i)
+        for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+          BilboSet t = current;
+          t.insert(candidates[i]);
+          t.insert(candidates[j]);
+          const TestabilityReport rep = check_bibs_testable(n, t);
+          if (!rep.ok) continue;
+          const DesignPoint p = evaluate_point(n, t, rep);
+          if (p.max_kernel_width < pair_width) {
+            pair_width = p.max_kernel_width;
+            pa = i;
+            pb = j;
+            pair_point = p;
+          }
+        }
+      if (pa == candidates.size()) break;  // genuinely stuck
+      current.insert(candidates[pa]);
+      current.insert(candidates[pb]);
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pb));
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pa));
+      if (pair_point.max_kernel_width < frontier.back().max_kernel_width)
+        frontier.push_back(std::move(pair_point));
+      continue;
+    }
+    current.insert(candidates[best_i]);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(best_i));
+    // Keep only frontier-improving points.
+    if (best_point.max_kernel_width < frontier.back().max_kernel_width)
+      frontier.push_back(std::move(best_point));
+  }
+  return frontier;
+}
+
+}  // namespace bibs::core

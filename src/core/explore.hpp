@@ -1,0 +1,31 @@
+#pragma once
+// Design-space exploration: the paper's BITS system "systematically explores
+// the BISTable design space to provide a family of solutions" [13]. Starting
+// from the minimum-hardware BIBS design, registers are converted one at a
+// time — always keeping the circuit balanced BISTable — to shrink the
+// largest kernel, trading BILBO hardware for (exponentially) shorter
+// functionally exhaustive test time.
+
+#include <vector>
+
+#include "core/kernels.hpp"
+
+namespace bibs::core {
+
+struct DesignPoint {
+  BilboSet bilbo;
+  int bilbo_ffs = 0;
+  /// Largest kernel input width M: functionally exhaustive test time is
+  /// 2^M - 1 + d for the dominating kernel.
+  int max_kernel_width = 0;
+  std::size_t kernels = 0;
+  int sessions = 0;
+};
+
+/// Greedy Pareto sweep from the minimal BIBS design towards full conversion.
+/// Every returned point is a valid balanced-BISTable design; consecutive
+/// points add one register. Points that do not improve the maximal kernel
+/// width are dropped, so the result is a hardware-vs-test-time frontier.
+std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n);
+
+}  // namespace bibs::core

@@ -1,0 +1,210 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace bibs::core {
+
+using rtl::BlockId;
+using rtl::BlockKind;
+using rtl::ConnId;
+using rtl::Netlist;
+
+bool Kernel::contains(BlockId b) const {
+  return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+std::vector<Kernel> extract_kernels(const Netlist& n, const BilboSet& b) {
+  const std::size_t nv = n.block_count();
+  std::vector<int> comp(nv, -1);
+  int ncomp = 0;
+
+  auto is_io = [&](BlockId v) {
+    const BlockKind k = n.block(v).kind;
+    return k == BlockKind::kInput || k == BlockKind::kOutput;
+  };
+
+  // Weakly-connected components over non-BILBO edges between non-IO blocks.
+  for (std::size_t s = 0; s < nv; ++s) {
+    if (comp[s] != -1 || is_io(static_cast<BlockId>(s))) continue;
+    comp[s] = ncomp;
+    std::deque<BlockId> q{static_cast<BlockId>(s)};
+    while (!q.empty()) {
+      const BlockId v = q.front();
+      q.pop_front();
+      auto visit = [&](ConnId e, BlockId other) {
+        if (b.count(e) || is_io(other)) return;
+        if (comp[static_cast<std::size_t>(other)] == -1) {
+          comp[static_cast<std::size_t>(other)] = ncomp;
+          q.push_back(other);
+        }
+      };
+      for (ConnId e : n.fanout(v)) visit(e, n.connection(e).to);
+      for (ConnId e : n.fanin(v)) visit(e, n.connection(e).from);
+    }
+    ++ncomp;
+  }
+
+  std::vector<Kernel> kernels(static_cast<std::size_t>(ncomp));
+  for (std::size_t v = 0; v < nv; ++v)
+    if (comp[v] != -1)
+      kernels[static_cast<std::size_t>(comp[v])].blocks.push_back(
+          static_cast<BlockId>(v));
+
+  // Boundary registers, in connection order for determinism.
+  for (const rtl::Connection& c : n.connections()) {
+    if (!b.count(c.id)) continue;
+    const int to_comp = is_io(c.to) ? -1 : comp[static_cast<std::size_t>(c.to)];
+    const int from_comp =
+        is_io(c.from) ? -1 : comp[static_cast<std::size_t>(c.from)];
+    if (to_comp != -1)
+      kernels[static_cast<std::size_t>(to_comp)].input_regs.push_back(c.id);
+    if (from_comp != -1)
+      kernels[static_cast<std::size_t>(from_comp)].output_regs.push_back(c.id);
+  }
+
+  for (Kernel& k : kernels) {
+    k.trivial = std::none_of(k.blocks.begin(), k.blocks.end(), [&](BlockId v) {
+      return n.block(v).kind == BlockKind::kComb;
+    });
+  }
+  return kernels;
+}
+
+std::size_t TestabilityReport::nontrivial_kernel_count() const {
+  std::size_t c = 0;
+  for (const Kernel& k : kernels)
+    if (!k.trivial) ++c;
+  return c;
+}
+
+namespace {
+
+/// Edge set restricting the graph to one kernel: everything except the
+/// kernel's internal (non-BILBO) edges is removed.
+graph::EdgeSet edges_outside_kernel(const Netlist& n, const BilboSet& b,
+                                    const Kernel& k) {
+  std::vector<char> member(n.block_count(), 0);
+  for (rtl::BlockId v : k.blocks) member[static_cast<std::size_t>(v)] = 1;
+  graph::EdgeSet removed;
+  for (const rtl::Connection& c : n.connections()) {
+    const bool internal = !b.count(c.id) &&
+                          member[static_cast<std::size_t>(c.from)] &&
+                          member[static_cast<std::size_t>(c.to)];
+    if (!internal) removed.insert(c.id);
+  }
+  return removed;
+}
+
+}  // namespace
+
+BilboSet BistRegisters::all() const {
+  BilboSet out = bilbo;
+  out.insert(cbilbo.begin(), cbilbo.end());
+  return out;
+}
+
+TestabilityReport check_bibs_testable(const Netlist& n,
+                                      const BistRegisters& regs) {
+  TestabilityReport rep = check_bibs_testable(n, regs.all());
+  if (regs.cbilbo.empty()) return rep;
+  // Drop condition-3 violations whose edge is a CBILBO.
+  std::vector<Violation> kept;
+  for (Violation& v : rep.violations)
+    if (!(v.kind == Violation::Kind::kSharedRegister &&
+          regs.is_cbilbo(v.edge)))
+      kept.push_back(std::move(v));
+  rep.violations = std::move(kept);
+  rep.ok = rep.violations.empty();
+  return rep;
+}
+
+TestabilityReport check_bibs_testable(const Netlist& n, const BilboSet& b) {
+  TestabilityReport rep;
+  rep.kernels = extract_kernels(n, b);
+
+  // Boundary conditions at the primary inputs/outputs.
+  for (const rtl::Connection& c : n.connections()) {
+    const bool from_pi = n.block(c.from).kind == BlockKind::kInput;
+    const bool to_po = n.block(c.to).kind == BlockKind::kOutput;
+    if ((from_pi || to_po) && !b.count(c.id))
+      rep.violations.push_back(
+          {Violation::Kind::kUnregisteredBoundary, -1, c.id,
+           "PI/PO port connection lacks a BILBO register"});
+  }
+
+  // Condition 3: no BILBO edge may start and end in the same kernel (the
+  // register would have to act as TPG and SA simultaneously).
+  for (std::size_t ki = 0; ki < rep.kernels.size(); ++ki) {
+    const Kernel& k = rep.kernels[ki];
+    for (ConnId e : k.input_regs) {
+      const rtl::Connection& c = n.connection(e);
+      if (n.block(c.from).kind != BlockKind::kInput && k.contains(c.from))
+        rep.violations.push_back(
+            {Violation::Kind::kSharedRegister, static_cast<int>(ki), e,
+             "register '" + c.reg->name +
+                 "' feeds and is fed by kernel " + std::to_string(ki)});
+    }
+  }
+
+  // Conditions 1 and 2 per kernel.
+  for (std::size_t ki = 0; ki < rep.kernels.size(); ++ki) {
+    const Kernel& k = rep.kernels[ki];
+    if (k.trivial) continue;
+    const graph::EdgeSet removed = edges_outside_kernel(n, b, k);
+    const auto bal = graph::check_balanced(n, removed);
+    if (!bal.acyclic) {
+      rep.violations.push_back({Violation::Kind::kCycle, static_cast<int>(ki),
+                                -1, "kernel contains a directed cycle"});
+    } else if (!bal.balanced) {
+      std::string detail = "kernel contains an URFS";
+      if (bal.urfs)
+        detail += " between '" + n.block(bal.urfs->from).name + "' and '" +
+                  n.block(bal.urfs->to).name + "' (lengths " +
+                  std::to_string(bal.urfs->length_a) + " vs " +
+                  std::to_string(bal.urfs->length_b) + ")";
+      rep.violations.push_back({Violation::Kind::kUnbalanced,
+                                static_cast<int>(ki), -1, detail});
+    }
+  }
+
+  rep.ok = rep.violations.empty();
+  return rep;
+}
+
+tpg::GeneralizedStructure kernel_structure(const Netlist& n, const BilboSet& b,
+                                           const Kernel& k) {
+  tpg::GeneralizedStructure s;
+  const graph::EdgeSet removed = edges_outside_kernel(n, b, k);
+
+  for (ConnId e : k.input_regs) {
+    const rtl::Connection& c = n.connection(e);
+    s.registers.push_back({c.reg->name, c.reg->width});
+  }
+  for (ConnId oe : k.output_regs) {
+    const rtl::Connection& oc = n.connection(oe);
+    tpg::Cone cone;
+    cone.name = oc.reg->name;
+    for (std::size_t i = 0; i < k.input_regs.size(); ++i) {
+      const rtl::Connection& ic = n.connection(k.input_regs[i]);
+      // Sequential length from the block the input register feeds to the
+      // block driving the output register, counting internal register edges.
+      const auto d =
+          graph::path_sequential_length(n, ic.to, oc.from, removed);
+      if (d) cone.deps.push_back({static_cast<int>(i), *d});
+    }
+    if (cone.deps.empty())
+      throw DesignError("kernel output register '" + oc.reg->name +
+                        "' depends on no kernel input register");
+    s.cones.push_back(std::move(cone));
+  }
+  s.validate();
+  return s;
+}
+
+int kernel_depth(const Netlist& n, const BilboSet& b, const Kernel& k) {
+  const tpg::GeneralizedStructure s = kernel_structure(n, b, k);
+  return s.max_depth();
+}
+
+}  // namespace bibs::core

@@ -1,0 +1,95 @@
+#pragma once
+// Kernel extraction and the balanced-BISTable predicate (Definition 1).
+//
+// Given a BILBO edge set B (register edges whose registers are converted to
+// BILBOs), the kernels are the weakly-connected components of the circuit
+// graph restricted to non-PI/PO vertices and non-BILBO edges. A kernel is
+// *trivial* when it contains no combinational block (pure register/vacuous
+// chains); trivial kernels are not counted as test kernels, matching the
+// paper's Table 2 accounting.
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "rtl/netlist.hpp"
+#include "tpg/structure.hpp"
+
+namespace bibs::core {
+
+/// Register edges converted to BILBO registers.
+using BilboSet = std::unordered_set<rtl::ConnId>;
+
+/// A complete BIST register assignment: plain BILBOs plus (rarely) CBILBOs.
+/// A CBILBO [7] generates patterns and compacts responses simultaneously, so
+/// it is exempt from condition 3 of Definition 1 — the paper reserves them
+/// for cycles containing a single register edge, where no two-BILBO solution
+/// exists. Every CBILBO edge is also a kernel boundary.
+struct BistRegisters {
+  BilboSet bilbo;
+  BilboSet cbilbo;
+
+  /// All converted edges (bilbo + cbilbo).
+  BilboSet all() const;
+  bool is_cbilbo(rtl::ConnId e) const { return cbilbo.count(e) > 0; }
+};
+
+struct Kernel {
+  std::vector<rtl::BlockId> blocks;       ///< member vertices
+  std::vector<rtl::ConnId> input_regs;    ///< BILBO edges feeding the kernel
+  std::vector<rtl::ConnId> output_regs;   ///< BILBO edges fed by the kernel
+  bool trivial = false;                   ///< no combinational block inside
+
+  bool contains(rtl::BlockId b) const;
+};
+
+/// Extracts all kernels under the given BILBO set. PI/PO vertices are not
+/// kernel members; edge order determines input/output register order.
+std::vector<Kernel> extract_kernels(const rtl::Netlist& n, const BilboSet& b);
+
+/// One Definition-1 violation discovered by check_bibs_testable.
+struct Violation {
+  enum class Kind {
+    kCycle,             ///< kernel contains a directed cycle
+    kUnbalanced,        ///< kernel contains an URFS
+    kSharedRegister,    ///< a BILBO edge starts and ends in the same kernel
+    kUnregisteredBoundary,  ///< a kernel boundary crossed by a wire edge
+  };
+  Kind kind;
+  int kernel = -1;                 ///< index into the kernel list
+  rtl::ConnId edge = -1;           ///< offending edge where applicable
+  std::string detail;
+};
+
+struct TestabilityReport {
+  bool ok = false;
+  std::vector<Kernel> kernels;     ///< all kernels, trivial included
+  std::vector<Violation> violations;
+
+  std::size_t nontrivial_kernel_count() const;
+};
+
+/// Full Definition-1 check of every kernel plus boundary-register checks
+/// (every PI out-edge and PO in-edge must be a BILBO register edge so that
+/// patterns can be applied and observed).
+TestabilityReport check_bibs_testable(const rtl::Netlist& n,
+                                      const BilboSet& b);
+
+/// As above, with CBILBO exemptions: a CBILBO edge may start and end in the
+/// same kernel (it plays TPG and SA simultaneously).
+TestabilityReport check_bibs_testable(const rtl::Netlist& n,
+                                      const BistRegisters& regs);
+
+/// Builds the generalized structure (Section 4) of a kernel: input registers
+/// in order, one cone per output register, and the unique sequential length
+/// from each input register to each cone it reaches. The kernel must be
+/// balanced. Throws bibs::DesignError otherwise.
+tpg::GeneralizedStructure kernel_structure(const rtl::Netlist& n,
+                                           const BilboSet& b,
+                                           const Kernel& k);
+
+/// Sequential depth of a kernel: the largest number of internal register
+/// edges on any input-to-output path (the flush allowance d of Corollary 1).
+int kernel_depth(const rtl::Netlist& n, const BilboSet& b, const Kernel& k);
+
+}  // namespace bibs::core

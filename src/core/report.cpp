@@ -1,0 +1,42 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "lfsr/bilbo.hpp"
+
+namespace bibs::core {
+
+DesignCost evaluate_design(const rtl::Netlist& n, const BilboSet& b) {
+  const TestabilityReport rep = check_bibs_testable(n, b);
+  if (!rep.ok)
+    throw DesignError("evaluate_design called on an invalid design (" +
+                      std::to_string(rep.violations.size()) + " violations)");
+  DesignCost cost;
+  cost.kernels = rep.nontrivial_kernel_count();
+
+  std::vector<Kernel> nontrivial;
+  for (const Kernel& k : rep.kernels)
+    if (!k.trivial) nontrivial.push_back(k);
+  cost.sessions = schedule_sessions(n, nontrivial).sessions;
+
+  cost.bilbo_registers = b.size();
+  for (rtl::ConnId e : b) {
+    const int w = n.connection(e).reg->width;
+    cost.bilbo_ffs += w;
+    cost.area_overhead_ge += lfsr::Bilbo::area_overhead_gate_equivalents(w);
+  }
+  graph::EdgeSet marked(b.begin(), b.end());
+  cost.max_delay = graph::max_marked_edges_on_path(n, marked);
+  return cost;
+}
+
+std::string to_string(const DesignCost& c) {
+  std::ostringstream os;
+  os << "kernels=" << c.kernels << " sessions=" << c.sessions
+     << " bilbo_registers=" << c.bilbo_registers << " bilbo_ffs=" << c.bilbo_ffs
+     << " max_delay=" << c.max_delay << " area_overhead_ge="
+     << c.area_overhead_ge;
+  return os.str();
+}
+
+}  // namespace bibs::core

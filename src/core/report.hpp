@@ -1,0 +1,27 @@
+#pragma once
+// Cost metrics of a BISTable design: the rows 1-4 of the paper's Table 2
+// plus flip-flop and area accounting (Figure 9's comparison).
+
+#include <string>
+
+#include "core/kernels.hpp"
+#include "core/schedule.hpp"
+
+namespace bibs::core {
+
+struct DesignCost {
+  std::size_t kernels = 0;       ///< non-trivial kernels
+  int sessions = 0;              ///< test sessions (schedule colouring)
+  std::size_t bilbo_registers = 0;
+  int bilbo_ffs = 0;             ///< total flip-flops in BILBO registers
+  int max_delay = 0;             ///< max BILBO registers on any PI-PO path
+  double area_overhead_ge = 0;   ///< BILBO overhead, gate equivalents
+};
+
+/// Evaluates a (valid) design. Throws bibs::DesignError if the design fails
+/// check_bibs_testable — cost numbers for broken designs are meaningless.
+DesignCost evaluate_design(const rtl::Netlist& n, const BilboSet& b);
+
+std::string to_string(const DesignCost& c);
+
+}  // namespace bibs::core

@@ -1,0 +1,122 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace bibs::core {
+
+Schedule schedule_sessions(const rtl::Netlist& n,
+                           const std::vector<Kernel>& kernels) {
+  (void)n;
+  const std::size_t k = kernels.size();
+  std::vector<std::unordered_set<rtl::ConnId>> regs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    regs[i].insert(kernels[i].input_regs.begin(),
+                   kernels[i].input_regs.end());
+    regs[i].insert(kernels[i].output_regs.begin(),
+                   kernels[i].output_regs.end());
+  }
+  auto conflict = [&](std::size_t a, std::size_t b) {
+    const auto& small = regs[a].size() < regs[b].size() ? regs[a] : regs[b];
+    const auto& large = regs[a].size() < regs[b].size() ? regs[b] : regs[a];
+    return std::any_of(small.begin(), small.end(),
+                       [&](rtl::ConnId e) { return large.count(e) > 0; });
+  };
+
+  // Welsh-Powell: colour vertices in order of decreasing degree.
+  std::vector<int> degree(k, 0);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = a + 1; b < k; ++b)
+      if (conflict(a, b)) {
+        ++degree[a];
+        ++degree[b];
+      }
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return degree[a] > degree[b]; });
+
+  Schedule s;
+  s.session_of.assign(k, -1);
+  for (std::size_t v : order) {
+    std::unordered_set<int> used;
+    for (std::size_t u = 0; u < k; ++u)
+      if (s.session_of[u] >= 0 && conflict(v, u)) used.insert(s.session_of[u]);
+    int c = 0;
+    while (used.count(c)) ++c;
+    s.session_of[v] = c;
+    s.sessions = std::max(s.sessions, c + 1);
+  }
+  return s;
+}
+
+namespace {
+
+bool color_kernels(const std::vector<std::vector<char>>& adj, int k,
+                   std::vector<int>& color, std::size_t v) {
+  if (v == adj.size()) return true;
+  for (int c = 0; c < k; ++c) {
+    bool ok = true;
+    for (std::size_t u = 0; u < v; ++u)
+      if (adj[v][u] && color[u] == c) {
+        ok = false;
+        break;
+      }
+    if (!ok) continue;
+    color[v] = c;
+    if (color_kernels(adj, k, color, v + 1)) return true;
+  }
+  color[v] = -1;
+  return false;
+}
+
+}  // namespace
+
+Schedule schedule_sessions_optimal(const rtl::Netlist& n,
+                                   const std::vector<Kernel>& kernels) {
+  (void)n;
+  const std::size_t k = kernels.size();
+  BIBS_ASSERT(k <= 24);
+  std::vector<std::unordered_set<rtl::ConnId>> regs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    regs[i].insert(kernels[i].input_regs.begin(), kernels[i].input_regs.end());
+    regs[i].insert(kernels[i].output_regs.begin(),
+                   kernels[i].output_regs.end());
+  }
+  std::vector<std::vector<char>> adj(k, std::vector<char>(k, 0));
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = a + 1; b < k; ++b)
+      for (rtl::ConnId e : regs[a])
+        if (regs[b].count(e)) {
+          adj[a][b] = adj[b][a] = 1;
+          break;
+        }
+
+  Schedule s;
+  s.session_of.assign(k, -1);
+  if (k == 0) return s;
+  for (int colors = 1; colors <= static_cast<int>(k); ++colors) {
+    std::vector<int> color(k, -1);
+    if (color_kernels(adj, colors, color, 0)) {
+      s.session_of = std::move(color);
+      s.sessions = colors;
+      return s;
+    }
+  }
+  BIBS_ASSERT(false && "colouring with k colours always succeeds");
+  return s;
+}
+
+std::int64_t schedule_test_time(const Schedule& s,
+                                const std::vector<std::int64_t>& patterns) {
+  BIBS_ASSERT(patterns.size() == s.session_of.size());
+  std::vector<std::int64_t> longest(static_cast<std::size_t>(s.sessions), 0);
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    longest[static_cast<std::size_t>(s.session_of[i])] =
+        std::max(longest[static_cast<std::size_t>(s.session_of[i])],
+                 patterns[i]);
+  return std::accumulate(longest.begin(), longest.end(), std::int64_t{0});
+}
+
+}  // namespace bibs::core

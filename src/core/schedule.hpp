@@ -1,0 +1,38 @@
+#pragma once
+// Test-session scheduling in the style of [13]: two kernels can be tested in
+// the same session iff they share no BILBO register (a shared register would
+// have to play TPG for one kernel and SA for the other, or generate two
+// different streams, in the same session). The schedule is a colouring of
+// the kernel conflict graph; Welsh-Powell greedy is exact on the paper's
+// circuits (interval-like conflicts) and never worse than Δ+1.
+
+#include <vector>
+
+#include "core/kernels.hpp"
+
+namespace bibs::core {
+
+struct Schedule {
+  /// session_of[i]: session index of non-trivial kernel i (indexing the
+  /// filtered kernel list passed to schedule_sessions).
+  std::vector<int> session_of;
+  int sessions = 0;
+};
+
+/// Colours the conflict graph of the given kernels (Welsh-Powell greedy).
+Schedule schedule_sessions(const rtl::Netlist& n,
+                           const std::vector<Kernel>& kernels);
+
+/// Provably minimum number of sessions (exact graph colouring by iterative
+/// deepening; kernels <= 24). The paper's [13] computes optimal schedules;
+/// on all paper circuits this matches the greedy result, which tests verify.
+Schedule schedule_sessions_optimal(const rtl::Netlist& n,
+                                   const std::vector<Kernel>& kernels);
+
+/// Total test time of a schedule: sum over sessions of the longest kernel
+/// test length inside that session (kernels in one session run concurrently).
+/// `patterns[i]` is the pattern count for kernel i.
+std::int64_t schedule_test_time(const Schedule& s,
+                                const std::vector<std::int64_t>& patterns);
+
+}  // namespace bibs::core

@@ -1,0 +1,361 @@
+#include "fault/atpg.hpp"
+
+#include <algorithm>
+
+namespace bibs::fault {
+
+using gate::Gate;
+using gate::GateType;
+using gate::NetId;
+
+Podem::Podem(const gate::Netlist& nl) : nl_(&nl), topo_(nl.comb_topo_order()) {
+  BIBS_ASSERT(nl.dffs().empty());
+  pi_index_.assign(nl.net_count(), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    pi_index_[static_cast<std::size_t>(nl.inputs()[i])] = static_cast<int>(i);
+  pi_assign_.assign(nl.inputs().size(), TV::kX);
+  good_.assign(nl.net_count(), TV::kX);
+  faulty_.assign(nl.net_count(), TV::kX);
+  fanout_.assign(nl.net_count(), {});
+  for (gate::NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
+    for (gate::NetId f : nl.gate(id).fanin)
+      fanout_[static_cast<std::size_t>(f)].push_back(id);
+  is_po_.assign(nl.net_count(), 0);
+  for (gate::NetId o : nl.outputs()) is_po_[static_cast<std::size_t>(o)] = 1;
+}
+
+bool Podem::x_path_exists(const Fault& f) const {
+  // Optimistic check: can a D value still reach a primary output through
+  // nets that are undecided in at least one machine? If not, this branch is
+  // a dead end no matter how the remaining PIs are set.
+  std::vector<char> mark(nl_->net_count(), 0);
+  std::vector<NetId> queue;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id) {
+    const TV g = good_[static_cast<std::size_t>(id)];
+    const TV fv = faulty_[static_cast<std::size_t>(id)];
+    if (g != TV::kX && fv != TV::kX && g != fv) {
+      if (is_po_[static_cast<std::size_t>(id)]) return true;
+      mark[static_cast<std::size_t>(id)] = 1;
+      queue.push_back(id);
+    }
+  }
+  // For a pin fault the D sits between the stem and the gate input; the
+  // faulted gate's output is where it can first surface on a net.
+  if (f.pin >= 0 && !mark[static_cast<std::size_t>(f.net)]) {
+    const TV g = good_[static_cast<std::size_t>(f.net)];
+    const TV fv = faulty_[static_cast<std::size_t>(f.net)];
+    if (g == TV::kX || fv == TV::kX) {
+      if (is_po_[static_cast<std::size_t>(f.net)]) return true;
+      mark[static_cast<std::size_t>(f.net)] = 1;
+      queue.push_back(f.net);
+    }
+  }
+  while (!queue.empty()) {
+    const NetId v = queue.back();
+    queue.pop_back();
+    for (NetId c : fanout_[static_cast<std::size_t>(v)]) {
+      if (mark[static_cast<std::size_t>(c)]) continue;
+      const TV g = good_[static_cast<std::size_t>(c)];
+      const TV f = faulty_[static_cast<std::size_t>(c)];
+      // A gate can still pass the effect only if its output is undecided in
+      // some machine (a decided-equal output blocks it).
+      if (g != TV::kX && f != TV::kX) continue;
+      if (is_po_[static_cast<std::size_t>(c)]) return true;
+      mark[static_cast<std::size_t>(c)] = 1;
+      queue.push_back(c);
+    }
+  }
+  return false;
+}
+
+Podem::TV Podem::eval_tv(GateType t, const TV* in, std::size_t n) {
+  auto inv = [](TV v) {
+    return v == TV::kX ? TV::kX : (v == TV::k0 ? TV::k1 : TV::k0);
+  };
+  switch (t) {
+    case GateType::kBuf: return in[0];
+    case GateType::kNot: return inv(in[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool any_x = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in[i] == TV::k0) return t == GateType::kAnd ? TV::k0 : TV::k1;
+        if (in[i] == TV::kX) any_x = true;
+      }
+      if (any_x) return TV::kX;
+      return t == GateType::kAnd ? TV::k1 : TV::k0;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool any_x = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in[i] == TV::k1) return t == GateType::kOr ? TV::k1 : TV::k0;
+        if (in[i] == TV::kX) any_x = true;
+      }
+      if (any_x) return TV::kX;
+      return t == GateType::kOr ? TV::k0 : TV::k1;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool parity = t == GateType::kXnor;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in[i] == TV::kX) return TV::kX;
+        parity ^= in[i] == TV::k1;
+      }
+      return parity ? TV::k1 : TV::k0;
+    }
+    default: BIBS_ASSERT(false && "eval_tv on a non-combinational gate");
+  }
+  return TV::kX;
+}
+
+void Podem::imply(const Fault& f) {
+  // Full three-valued forward simulation of both machines.
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id) {
+    const Gate& g = nl_->gate(id);
+    if (g.type == GateType::kInput) {
+      const TV v = pi_assign_[static_cast<std::size_t>(
+          pi_index_[static_cast<std::size_t>(id)])];
+      good_[static_cast<std::size_t>(id)] = v;
+      faulty_[static_cast<std::size_t>(id)] = v;
+    } else if (g.type == GateType::kConst0) {
+      good_[static_cast<std::size_t>(id)] = TV::k0;
+      faulty_[static_cast<std::size_t>(id)] = TV::k0;
+    } else if (g.type == GateType::kConst1) {
+      good_[static_cast<std::size_t>(id)] = TV::k1;
+      faulty_[static_cast<std::size_t>(id)] = TV::k1;
+    }
+  }
+  // Stem fault forces the faulty value even on a PI/const site.
+  if (f.pin < 0)
+    faulty_[static_cast<std::size_t>(f.net)] = f.stuck ? TV::k1 : TV::k0;
+
+  TV gin[64], fin[64];
+  for (NetId id : topo_) {
+    const Gate& g = nl_->gate(id);
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      gin[i] = good_[static_cast<std::size_t>(g.fanin[i])];
+      fin[i] = faulty_[static_cast<std::size_t>(g.fanin[i])];
+    }
+    if (f.pin >= 0 && id == f.net)
+      fin[static_cast<std::size_t>(f.pin)] = f.stuck ? TV::k1 : TV::k0;
+    good_[static_cast<std::size_t>(id)] =
+        eval_tv(g.type, gin, g.fanin.size());
+    faulty_[static_cast<std::size_t>(id)] =
+        (f.pin < 0 && id == f.net)
+            ? (f.stuck ? TV::k1 : TV::k0)
+            : eval_tv(g.type, fin, g.fanin.size());
+  }
+}
+
+bool Podem::detected_at_po() const {
+  for (NetId o : nl_->outputs()) {
+    const TV g = good_[static_cast<std::size_t>(o)];
+    const TV f = faulty_[static_cast<std::size_t>(o)];
+    if (g != TV::kX && f != TV::kX && g != f) return true;
+  }
+  return false;
+}
+
+bool Podem::fault_excited(const Fault& f) const {
+  // The composite value at the fault site is D/D'.
+  const NetId site =
+      f.pin < 0 ? f.net : nl_->gate(f.net).fanin[static_cast<std::size_t>(
+                              f.pin)];
+  const TV g = good_[static_cast<std::size_t>(site)];
+  return g != TV::kX && (g == TV::k1) != f.stuck;
+}
+
+bool Podem::objective(const Fault& f, Objective* out) const {
+  if (!fault_excited(f)) {
+    // Try to set the fault site to the opposite of the stuck value.
+    const NetId site =
+        f.pin < 0 ? f.net : nl_->gate(f.net).fanin[static_cast<std::size_t>(
+                                f.pin)];
+    const TV g = good_[static_cast<std::size_t>(site)];
+    if (g != TV::kX) return false;  // definitely equal to stuck: dead end
+    out->net = site;
+    out->value = !f.stuck;
+    return true;
+  }
+  // D-frontier: a gate whose output is still X in some machine but has a
+  // D/D' input; objective = non-controlling value on one X input. For a pin
+  // fault the faulted gate itself is a frontier gate once excited (the D
+  // lives on the pin, not on any net).
+  for (NetId id : topo_) {
+    const Gate& g = nl_->gate(id);
+    const TV og = good_[static_cast<std::size_t>(id)];
+    const TV of = faulty_[static_cast<std::size_t>(id)];
+    if (og != TV::kX && of != TV::kX) continue;
+    bool has_d = f.pin >= 0 && id == f.net;
+    for (NetId in : g.fanin) {
+      if (has_d) break;
+      const TV a = good_[static_cast<std::size_t>(in)];
+      const TV b = faulty_[static_cast<std::size_t>(in)];
+      if (a != TV::kX && b != TV::kX && a != b) has_d = true;
+    }
+    if (!has_d) continue;
+    // Pick a settable side input: one whose good-machine value is still X
+    // (a net with a decided good value cannot be re-justified).
+    for (NetId in : g.fanin) {
+      if (good_[static_cast<std::size_t>(in)] != TV::kX) continue;
+      out->net = in;
+      switch (g.type) {
+        case GateType::kAnd:
+        case GateType::kNand: out->value = true; break;
+        case GateType::kOr:
+        case GateType::kNor: out->value = false; break;
+        default: out->value = false; break;  // XOR-family: either works
+      }
+      return true;
+    }
+  }
+  return false;  // empty D-frontier: backtrack
+}
+
+gate::NetId Podem::backtrace(Objective obj, bool* pi_value) const {
+  NetId net = obj.net;
+  bool v = obj.value;
+  for (;;) {
+    const Gate& g = nl_->gate(net);
+    if (g.type == GateType::kInput) {
+      *pi_value = v;
+      return net;
+    }
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1)
+      return gate::kNoNet;  // cannot justify through a constant
+    // Choose an X input and adjust the wanted value through the gate.
+    NetId next = gate::kNoNet;
+    for (NetId in : g.fanin)
+      if (good_[static_cast<std::size_t>(in)] == TV::kX) {
+        next = in;
+        break;
+      }
+    if (next == gate::kNoNet) return gate::kNoNet;
+    switch (g.type) {
+      case GateType::kBuf: break;
+      case GateType::kNot: v = !v; break;
+      case GateType::kAnd: break;              // out v needs input v
+      case GateType::kNand: v = !v; break;
+      case GateType::kOr: break;
+      case GateType::kNor: v = !v; break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // needed = v xor (parity of definite inputs) xor (inversion).
+        bool needed = v ^ (g.type == GateType::kXnor);
+        for (NetId in : g.fanin) {
+          const TV a = good_[static_cast<std::size_t>(in)];
+          if (a == TV::k1) needed = !needed;
+        }
+        v = needed;
+        break;
+      }
+      default: return gate::kNoNet;
+    }
+    net = next;
+  }
+}
+
+AtpgResult Podem::generate(const Fault& f, int max_backtracks) {
+  std::fill(pi_assign_.begin(), pi_assign_.end(), TV::kX);
+
+  struct Decision {
+    NetId pi;
+    bool value;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+  AtpgResult res;
+
+  for (;;) {
+    imply(f);
+    if (detected_at_po()) {
+      res.status = AtpgStatus::kDetected;
+      res.pattern.assign(nl_->inputs().size(), false);
+      for (std::size_t i = 0; i < nl_->inputs().size(); ++i)
+        if (pi_assign_[i] == TV::k1) res.pattern[i] = true;
+      return res;
+    }
+
+    // Hard dead ends: fault can no longer be excited, or the fault effect
+    // can no longer reach any output.
+    bool dead = false;
+    if (!fault_excited(f)) {
+      const NetId site =
+          f.pin < 0 ? f.net
+                    : nl_->gate(f.net).fanin[static_cast<std::size_t>(f.pin)];
+      if (good_[static_cast<std::size_t>(site)] != TV::kX) dead = true;
+    } else if (!x_path_exists(f)) {
+      dead = true;
+    }
+
+    Objective obj;
+    NetId pi = gate::kNoNet;
+    bool v = false;
+    if (!dead) {
+      if (objective(f, &obj)) pi = backtrace(obj, &v);
+      if (pi == gate::kNoNet) {
+        // Guidance failed but the branch is still alive: fall back to the
+        // first unassigned PI so the decision tree stays complete.
+        for (std::size_t i = 0; i < pi_assign_.size(); ++i)
+          if (pi_assign_[i] == TV::kX) {
+            pi = nl_->inputs()[i];
+            v = false;
+            break;
+          }
+      }
+    }
+
+    if (pi != gate::kNoNet) {
+      stack.push_back({pi, v, false});
+      pi_assign_[static_cast<std::size_t>(
+          pi_index_[static_cast<std::size_t>(pi)])] = v ? TV::k1 : TV::k0;
+      continue;
+    }
+
+    // Dead end: backtrack.
+    bool resumed = false;
+    while (!stack.empty()) {
+      Decision d = stack.back();
+      stack.pop_back();
+      if (!d.flipped) {
+        ++res.backtracks;
+        if (res.backtracks > max_backtracks) {
+          res.status = AtpgStatus::kAborted;
+          return res;
+        }
+        d.value = !d.value;
+        d.flipped = true;
+        stack.push_back(d);
+        pi_assign_[static_cast<std::size_t>(
+            pi_index_[static_cast<std::size_t>(d.pi)])] =
+            d.value ? TV::k1 : TV::k0;
+        resumed = true;
+        break;
+      }
+      pi_assign_[static_cast<std::size_t>(
+          pi_index_[static_cast<std::size_t>(d.pi)])] = TV::kX;
+    }
+    if (!resumed) {
+      res.status = AtpgStatus::kUndetectable;
+      return res;
+    }
+  }
+}
+
+AtpgSummary Podem::classify(const FaultList& faults, int max_backtracks) {
+  AtpgSummary s;
+  s.status.reserve(faults.size());
+  for (const Fault& f : faults.faults()) {
+    const AtpgResult r = generate(f, max_backtracks);
+    s.status.push_back(r.status);
+    switch (r.status) {
+      case AtpgStatus::kDetected: ++s.detected; break;
+      case AtpgStatus::kUndetectable: ++s.undetectable; break;
+      case AtpgStatus::kAborted: ++s.aborted; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace bibs::fault

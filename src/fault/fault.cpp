@@ -1,0 +1,126 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+namespace bibs::fault {
+
+using gate::Gate;
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+std::string to_string(const Netlist& nl, const Fault& f) {
+  const Gate& g = nl.gate(f.net);
+  std::string site = g.name.empty()
+                         ? std::string(gate::to_string(g.type)) + "#" +
+                               std::to_string(f.net)
+                         : g.name;
+  if (f.pin >= 0) site += ".in" + std::to_string(f.pin);
+  return site + (f.stuck ? " s-a-1" : " s-a-0");
+}
+
+namespace {
+
+}  // namespace
+
+FaultList FaultList::from_faults(std::vector<Fault> faults) {
+  FaultList fl;
+  fl.faults_ = std::move(faults);
+  return fl;
+}
+
+namespace {
+
+std::vector<int> fanout_counts(const Netlist& nl) {
+  std::vector<int> cnt(nl.net_count(), 0);
+  for (const Gate& g : nl.gates())
+    for (NetId f : g.fanin) ++cnt[static_cast<std::size_t>(f)];
+  // Primary outputs also consume their nets.
+  for (NetId o : nl.outputs()) ++cnt[static_cast<std::size_t>(o)];
+  return cnt;
+}
+
+bool faultable_stem(GateType t) {
+  return t != GateType::kConst0 && t != GateType::kConst1;
+}
+
+}  // namespace
+
+FaultList FaultList::full(const Netlist& nl) {
+  FaultList fl;
+  const auto cnt = fanout_counts(nl);
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (faultable_stem(g.type) && cnt[static_cast<std::size_t>(id)] > 0) {
+      fl.faults_.push_back({id, -1, false});
+      fl.faults_.push_back({id, -1, true});
+    }
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      if (cnt[static_cast<std::size_t>(g.fanin[k])] <= 1)
+        continue;  // single-consumer pin == driver stem
+      fl.faults_.push_back({id, static_cast<int>(k), false});
+      fl.faults_.push_back({id, static_cast<int>(k), true});
+    }
+  }
+  return fl;
+}
+
+FaultList FaultList::collapsed(const Netlist& nl) {
+  // Start from the full list and drop input faults that are equivalent to a
+  // fault on the same gate's output:
+  //   AND : in s-a-0 == out s-a-0      NAND: in s-a-0 == out s-a-1
+  //   OR  : in s-a-1 == out s-a-1      NOR : in s-a-1 == out s-a-0
+  //   BUF : in s-a-v == out s-a-v      NOT : in s-a-v == out s-a-!v
+  // For single-consumer pins (already folded to the driver stem) the same
+  // rule is applied to the driver's stem fault instead: when a driver's only
+  // consumer absorbs the fault into its output, the stem fault is dropped.
+  const auto cnt = fanout_counts(nl);
+
+  // A pin fault (g, k, v) is absorbed if v is the controlling value of g.
+  auto absorbed = [&](GateType t, bool v) {
+    switch (t) {
+      case GateType::kAnd:
+      case GateType::kNand: return v == false;
+      case GateType::kOr:
+      case GateType::kNor: return v == true;
+      case GateType::kBuf:
+      case GateType::kNot: return true;  // both polarities map through
+      default: return false;             // XOR/XNOR/DFF: nothing collapses
+    }
+  };
+
+  FaultList fl;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    // Explicit branch faults on multi-fanout pins: keep unless absorbed.
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      if (cnt[static_cast<std::size_t>(g.fanin[k])] <= 1) continue;
+      for (bool v : {false, true})
+        if (!absorbed(g.type, v))
+          fl.faults_.push_back({id, static_cast<int>(k), v});
+    }
+  }
+  // Unique gate consumer per net (when it exists), for the stem rule below.
+  std::vector<NetId> sole_consumer(nl.net_count(), gate::kNoNet);
+  for (NetId c = 0; static_cast<std::size_t>(c) < nl.net_count(); ++c)
+    for (NetId f : nl.gate(c).fanin)
+      if (cnt[static_cast<std::size_t>(f)] == 1)
+        sole_consumer[static_cast<std::size_t>(f)] = c;
+
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (!faultable_stem(g.type) || cnt[static_cast<std::size_t>(id)] == 0)
+      continue;
+    for (bool v : {false, true}) {
+      // A stem with exactly one gate consumer is the same site as that
+      // consumer's pin; drop it when the consumer absorbs this polarity.
+      bool keep = true;
+      const NetId c = sole_consumer[static_cast<std::size_t>(id)];
+      if (c != gate::kNoNet && absorbed(nl.gate(c).type, v)) keep = false;
+      if (keep) fl.faults_.push_back({id, -1, v});
+    }
+  }
+  return fl;
+}
+
+}  // namespace bibs::fault

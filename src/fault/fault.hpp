@@ -1,0 +1,50 @@
+#pragma once
+// Single-stuck-at fault universe with structural equivalence collapsing.
+//
+// Fault sites follow the classic convention: a stem fault on every gate
+// output net, and branch faults on gate input pins whose driving net fans
+// out to more than one consumer (a single-consumer pin fault is equivalent
+// to the driver's stem fault and is never generated). Equivalence collapsing
+// then merges controlling-value input faults into output faults (AND: in
+// s-a-0 == out s-a-0; NAND: in s-a-0 == out s-a-1; OR/NOR dually; BUF/NOT:
+// both polarities map through).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace bibs::fault {
+
+struct Fault {
+  gate::NetId net = gate::kNoNet;  ///< gate owning the faulted pin
+  int pin = -1;                    ///< -1 = output stem, >= 0 = fan-in index
+  bool stuck = false;              ///< stuck-at value
+
+  bool operator==(const Fault&) const = default;
+};
+
+std::string to_string(const gate::Netlist& nl, const Fault& f);
+
+class FaultList {
+ public:
+  /// Full (uncollapsed) fault list: stems on every logic gate and primary
+  /// input, branches on multi-fanout pins. Constants are not faulted.
+  static FaultList full(const gate::Netlist& nl);
+
+  /// Equivalence-collapsed list (one representative per equivalence class).
+  static FaultList collapsed(const gate::Netlist& nl);
+
+  /// Wraps an explicit fault vector (e.g. a filtered subset).
+  static FaultList from_faults(std::vector<Fault> faults);
+
+  std::size_t size() const { return faults_.size(); }
+  const std::vector<Fault>& faults() const { return faults_; }
+  const Fault& operator[](std::size_t i) const { return faults_[i]; }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace bibs::fault

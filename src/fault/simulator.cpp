@@ -1,0 +1,323 @@
+#include "fault/simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "gate/sim.hpp"
+
+namespace bibs::fault {
+
+using gate::Gate;
+using gate::GateType;
+using gate::NetId;
+
+std::size_t CoverageCurve::detected_count() const {
+  std::size_t n = 0;
+  for (auto d : detected_at)
+    if (d != kUndetected) ++n;
+  return n;
+}
+
+double CoverageCurve::coverage() const {
+  if (detected_at.empty()) return 1.0;
+  return static_cast<double>(detected_count()) /
+         static_cast<double>(detected_at.size());
+}
+
+std::int64_t CoverageCurve::patterns_for_fraction(double fraction) const {
+  BIBS_ASSERT(fraction > 0.0 && fraction <= 1.0);
+  std::vector<std::int64_t> hits;
+  hits.reserve(detected_at.size());
+  for (auto d : detected_at)
+    if (d != kUndetected) hits.push_back(d);
+  if (hits.empty()) return 0;
+  std::sort(hits.begin(), hits.end());
+  const auto need = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(hits.size())));
+  BIBS_ASSERT(need >= 1 && need <= hits.size());
+  return hits[need - 1] + 1;  // pattern indices are 0-based
+}
+
+double CoverageCurve::coverage_after(std::int64_t patterns) const {
+  if (detected_at.empty()) return 1.0;
+  std::size_t n = 0;
+  for (auto d : detected_at)
+    if (d != kUndetected && d < patterns) ++n;
+  return static_cast<double>(n) / static_cast<double>(detected_at.size());
+}
+
+FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults)
+    : nl_(&nl), faults_(std::move(faults)) {
+  BIBS_ASSERT(nl.dffs().empty());  // combinational netlists only
+  topo_ = nl.comb_topo_order();
+  const std::size_t n = nl.net_count();
+  level_.assign(n, 0);
+  fanout_.assign(n, {});
+  observed_.assign(n, 0);
+  for (NetId id : topo_) {
+    const Gate& g = nl.gate(id);
+    int lvl = 0;
+    for (NetId f : g.fanin)
+      lvl = std::max(lvl, level_[static_cast<std::size_t>(f)] + 1);
+    level_[static_cast<std::size_t>(id)] = lvl;
+    max_level_ = std::max(max_level_, lvl);
+  }
+  for (NetId id = 0; static_cast<std::size_t>(id) < n; ++id)
+    for (NetId f : nl.gate(id).fanin)
+      fanout_[static_cast<std::size_t>(f)].push_back(id);
+  for (NetId o : nl.outputs()) observed_[static_cast<std::size_t>(o)] = 1;
+  good_.assign(n, 0);
+  cur_.assign(n, 0);
+  queued_.assign(n, 0);
+  buckets_.assign(static_cast<std::size_t>(max_level_) + 1, {});
+}
+
+void FaultSimulator::good_eval(const std::uint64_t* in_words) {
+  const auto& ins = nl_->inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    good_[static_cast<std::size_t>(ins[i])] = in_words[i];
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id)
+    if (nl_->gate(id).type == GateType::kConst1)
+      good_[static_cast<std::size_t>(id)] = ~0ull;
+  std::uint64_t in[64];
+  for (NetId id : topo_) {
+    const Gate& g = nl_->gate(id);
+    for (std::size_t i = 0; i < g.fanin.size(); ++i)
+      in[i] = good_[static_cast<std::size_t>(g.fanin[i])];
+    good_[static_cast<std::size_t>(id)] =
+        gate::Simulator::eval_gate(g.type, in, g.fanin.size());
+  }
+}
+
+std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes) {
+  const std::uint64_t lane_mask =
+      valid_lanes >= 64 ? ~0ull : ((1ull << valid_lanes) - 1);
+  changed_.clear();
+  std::uint64_t detect = 0;
+
+  auto set_net = [&](NetId net, std::uint64_t v) {
+    auto& slot = cur_[static_cast<std::size_t>(net)];
+    if (slot == v) return false;
+    if (slot == good_[static_cast<std::size_t>(net)]) changed_.push_back(net);
+    slot = v;
+    return true;
+  };
+  auto schedule = [&](NetId g) {
+    if (queued_[static_cast<std::size_t>(g)]) return;
+    queued_[static_cast<std::size_t>(g)] = 1;
+    buckets_[static_cast<std::size_t>(level_[static_cast<std::size_t>(g)])]
+        .push_back(g);
+  };
+
+  const std::uint64_t stuck_word = f.stuck ? ~0ull : 0ull;
+  int min_level = max_level_ + 1;
+
+  // Injection.
+  if (f.pin < 0) {
+    if (set_net(f.net, stuck_word)) {
+      for (NetId c : fanout_[static_cast<std::size_t>(f.net)]) {
+        schedule(c);
+        min_level = std::min(min_level,
+                             level_[static_cast<std::size_t>(c)]);
+      }
+      if (observed_[static_cast<std::size_t>(f.net)])
+        detect |= (stuck_word ^ good_[static_cast<std::size_t>(f.net)]) &
+                  lane_mask;
+    }
+  } else {
+    const Gate& g = nl_->gate(f.net);
+    std::uint64_t in[64];
+    for (std::size_t i = 0; i < g.fanin.size(); ++i)
+      in[i] = cur_[static_cast<std::size_t>(g.fanin[i])];
+    in[static_cast<std::size_t>(f.pin)] = stuck_word;
+    const std::uint64_t v =
+        gate::Simulator::eval_gate(g.type, in, g.fanin.size());
+    if (set_net(f.net, v)) {
+      for (NetId c : fanout_[static_cast<std::size_t>(f.net)]) {
+        schedule(c);
+        min_level = std::min(min_level, level_[static_cast<std::size_t>(c)]);
+      }
+      if (observed_[static_cast<std::size_t>(f.net)])
+        detect |= (v ^ good_[static_cast<std::size_t>(f.net)]) & lane_mask;
+    }
+  }
+
+  // Event-driven sweep in level order.
+  for (int lvl = min_level; lvl <= max_level_; ++lvl) {
+    auto& bucket = buckets_[static_cast<std::size_t>(lvl)];
+    for (std::size_t qi = 0; qi < bucket.size(); ++qi) {
+      const NetId id = bucket[qi];
+      queued_[static_cast<std::size_t>(id)] = 0;
+      // The injection site must keep its forced value.
+      if (f.pin < 0 && id == f.net) continue;
+      const Gate& g = nl_->gate(id);
+      std::uint64_t in[64];
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        in[i] = cur_[static_cast<std::size_t>(g.fanin[i])];
+      if (f.pin >= 0 && id == f.net)
+        in[static_cast<std::size_t>(f.pin)] = stuck_word;
+      const std::uint64_t v =
+          gate::Simulator::eval_gate(g.type, in, g.fanin.size());
+      if (set_net(id, v)) {
+        for (NetId c : fanout_[static_cast<std::size_t>(id)]) schedule(c);
+        if (observed_[static_cast<std::size_t>(id)])
+          detect |= (v ^ good_[static_cast<std::size_t>(id)]) & lane_mask;
+      }
+    }
+    bucket.clear();
+  }
+
+  // Restore.
+  for (NetId c : changed_)
+    cur_[static_cast<std::size_t>(c)] = good_[static_cast<std::size_t>(c)];
+  return detect;
+}
+
+CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
+                                  std::int64_t max_patterns,
+                                  std::int64_t stall_limit) {
+  CoverageCurve curve;
+  curve.detected_at.assign(faults_.size(), CoverageCurve::kUndetected);
+
+  std::vector<std::size_t> live(faults_.size());
+  for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+
+  std::vector<std::uint64_t> in_words(std::max<std::size_t>(
+      nl_->inputs().size(), 1));
+  std::int64_t base = 0;
+  std::int64_t last_new_detection = 0;
+
+  while (base < max_patterns && !live.empty()) {
+    const int lanes_wanted = static_cast<int>(
+        std::min<std::int64_t>(64, max_patterns - base));
+    int lanes = gen(in_words.data());
+    if (lanes <= 0) break;
+    lanes = std::min(lanes, lanes_wanted);
+
+    good_eval(in_words.data());
+    cur_ = good_;
+
+    std::size_t keep = 0;
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      const std::size_t fi = live[li];
+      const std::uint64_t det = propagate(faults_[fi], lanes);
+      if (det) {
+        curve.detected_at[fi] =
+            base + std::countr_zero(det);
+        last_new_detection = base + std::countr_zero(det);
+      } else {
+        live[keep++] = fi;
+      }
+    }
+    live.resize(keep);
+    base += lanes;
+    if (base - last_new_detection > stall_limit) break;
+  }
+  curve.patterns_run = base;
+  return curve;
+}
+
+CoverageCurve FaultSimulator::run_random(Xoshiro256& rng,
+                                         std::int64_t max_patterns,
+                                         std::int64_t stall_limit) {
+  const std::size_t nin = nl_->inputs().size();
+  return run(
+      [&](std::uint64_t* words) {
+        for (std::size_t i = 0; i < nin; ++i) words[i] = rng.next();
+        return 64;
+      },
+      max_patterns, stall_limit);
+}
+
+CoverageCurve FaultSimulator::run_weighted(Xoshiro256& rng,
+                                           double one_probability,
+                                           std::int64_t max_patterns,
+                                           std::int64_t stall_limit) {
+  BIBS_ASSERT(one_probability > 0.0 && one_probability < 1.0);
+  const std::size_t nin = nl_->inputs().size();
+  return run(
+      [&, one_probability](std::uint64_t* words) {
+        for (std::size_t i = 0; i < nin; ++i) {
+          std::uint64_t w = 0;
+          for (int b = 0; b < 64; ++b)
+            if (rng.next_double() < one_probability) w |= 1ull << b;
+          words[i] = w;
+        }
+        return 64;
+      },
+      max_patterns, stall_limit);
+}
+
+CoverageCurve FaultSimulator::run_exhaustive() {
+  const std::size_t nin = nl_->inputs().size();
+  BIBS_ASSERT(nin <= 30);
+  const std::int64_t total = 1ll << nin;
+  std::int64_t next = 0;
+  return run(
+      [&](std::uint64_t* words) {
+        const int lanes =
+            static_cast<int>(std::min<std::int64_t>(64, total - next));
+        if (lanes <= 0) return 0;
+        for (std::size_t i = 0; i < nin; ++i) {
+          std::uint64_t w = 0;
+          for (int b = 0; b < lanes; ++b)
+            if (((next + b) >> i) & 1) w |= 1ull << b;
+          words[i] = w;
+        }
+        next += lanes;
+        return lanes;
+      },
+      total);
+}
+
+bool FaultSimulator::detects_naive(const Fault& f,
+                                   const std::vector<bool>& pattern) const {
+  BIBS_ASSERT(pattern.size() == nl_->inputs().size());
+  // Full serial resimulation of good and faulty circuits.
+  auto simulate = [&](bool faulty) {
+    std::vector<std::uint64_t> val(nl_->net_count(), 0);
+    const auto& ins = nl_->inputs();
+    for (std::size_t i = 0; i < ins.size(); ++i)
+      val[static_cast<std::size_t>(ins[i])] = pattern[i] ? 1 : 0;
+    for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id)
+      if (nl_->gate(id).type == GateType::kConst1)
+        val[static_cast<std::size_t>(id)] = 1;
+    for (NetId id : topo_) {
+      const Gate& g = nl_->gate(id);
+      std::uint64_t in[64];
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        in[i] = val[static_cast<std::size_t>(g.fanin[i])];
+      if (faulty && f.pin >= 0 && id == f.net)
+        in[static_cast<std::size_t>(f.pin)] = f.stuck ? 1 : 0;
+      val[static_cast<std::size_t>(id)] =
+          gate::Simulator::eval_gate(g.type, in, g.fanin.size()) & 1;
+    }
+    if (faulty && f.pin < 0) {
+      // Output stem fault: force and repropagate downstream levels.
+      val[static_cast<std::size_t>(f.net)] = f.stuck ? 1 : 0;
+      for (NetId id : topo_) {
+        if (level_[static_cast<std::size_t>(id)] <=
+            level_[static_cast<std::size_t>(f.net)])
+          continue;
+        const Gate& g = nl_->gate(id);
+        std::uint64_t in[64];
+        for (std::size_t i = 0; i < g.fanin.size(); ++i)
+          in[i] = val[static_cast<std::size_t>(g.fanin[i])];
+        val[static_cast<std::size_t>(id)] =
+            gate::Simulator::eval_gate(g.type, in, g.fanin.size()) & 1;
+      }
+    }
+    return val;
+  };
+  const auto good = simulate(false);
+  const auto bad = simulate(true);
+  for (NetId o : nl_->outputs())
+    if ((good[static_cast<std::size_t>(o)] ^
+         bad[static_cast<std::size_t>(o)]) &
+        1)
+      return true;
+  return false;
+}
+
+}  // namespace bibs::fault

@@ -1,0 +1,109 @@
+#pragma once
+// Parallel-pattern single-fault-propagation (PPSFP) stuck-at fault simulator.
+//
+// Good-circuit values for a block of 64 patterns are computed with one
+// levelized sweep; each still-undetected fault is then injected and
+// propagated event-driven through its fanout cone only. Detected faults are
+// dropped. This is the engine behind the paper's Table 2 coverage numbers.
+//
+// The simulator operates on purely combinational netlists — for sequential
+// balanced kernels, pass gate::combinational_kernel() output (valid by the
+// BALLAST single-pattern-testability result).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "fault/fault.hpp"
+#include "gate/netlist.hpp"
+
+namespace bibs::fault {
+
+/// Per-fault first-detection record plus helpers to answer "how many patterns
+/// to reach X% of detected faults" — the paper's rows 5-8 of Table 2.
+struct CoverageCurve {
+  static constexpr std::int64_t kUndetected = -1;
+
+  /// First-detection pattern index (0-based) per fault; kUndetected if never.
+  std::vector<std::int64_t> detected_at;
+  /// Number of patterns that were simulated in total.
+  std::int64_t patterns_run = 0;
+
+  std::size_t total_faults() const { return detected_at.size(); }
+  std::size_t detected_count() const;
+  /// Detected / total, in [0, 1].
+  double coverage() const;
+  /// Smallest pattern count that detects ceil(fraction * detected_count())
+  /// of the faults that were ever detected. fraction in (0, 1].
+  std::int64_t patterns_for_fraction(double fraction) const;
+  /// Coverage (of total faults) after the first `patterns` patterns.
+  double coverage_after(std::int64_t patterns) const;
+};
+
+class FaultSimulator {
+ public:
+  /// The netlist must be combinational (no DFFs) and validated.
+  FaultSimulator(const gate::Netlist& nl, FaultList faults);
+
+  const gate::Netlist& netlist() const { return *nl_; }
+  const FaultList& faults() const { return faults_; }
+
+  /// Fills the 64 pattern lanes for one block: words[i] is the word for
+  /// primary input i (nl.inputs()[i]); returns the number of valid lanes
+  /// (1..64); returning 0 ends the run early.
+  using PatternBlockFn = std::function<int(std::uint64_t* words)>;
+
+  /// Runs up to max_patterns from the generator. Stops early when all faults
+  /// are detected or when `stall_limit` consecutive patterns bring no new
+  /// detection.
+  CoverageCurve run(const PatternBlockFn& gen, std::int64_t max_patterns,
+                    std::int64_t stall_limit =
+                        std::numeric_limits<std::int64_t>::max());
+
+  /// Uniform random patterns from `rng`.
+  CoverageCurve run_random(Xoshiro256& rng, std::int64_t max_patterns,
+                           std::int64_t stall_limit =
+                               std::numeric_limits<std::int64_t>::max());
+
+  /// Weighted random patterns: every input bit is 1 with probability
+  /// `one_probability` (the classic countermeasure to random-pattern-
+  /// resistant faults, e.g. long AND/carry chains that want mostly-1
+  /// operands). one_probability in (0, 1).
+  CoverageCurve run_weighted(Xoshiro256& rng, double one_probability,
+                             std::int64_t max_patterns,
+                             std::int64_t stall_limit =
+                                 std::numeric_limits<std::int64_t>::max());
+
+  /// All 2^n input patterns (n = number of PIs, n <= 30): the ground truth
+  /// for which faults are detectable at all.
+  CoverageCurve run_exhaustive();
+
+  /// Reference implementation: serial single-pattern, full re-simulation.
+  /// Used to cross-check the event-driven engine in tests.
+  bool detects_naive(const Fault& f, const std::vector<bool>& pattern) const;
+
+ private:
+  void good_eval(const std::uint64_t* in_words);
+  std::uint64_t propagate(const Fault& f, int valid_lanes);
+
+  const gate::Netlist* nl_;
+  FaultList faults_;
+
+  // Levelized structure.
+  std::vector<gate::NetId> topo_;
+  std::vector<int> level_;                         // per net
+  std::vector<std::vector<gate::NetId>> fanout_;   // per net: consumer gates
+  std::vector<char> observed_;                     // per net: is a PO
+  int max_level_ = 0;
+
+  // Scratch.
+  std::vector<std::uint64_t> good_;
+  std::vector<std::uint64_t> cur_;
+  std::vector<gate::NetId> changed_;
+  std::vector<char> queued_;
+  std::vector<std::vector<gate::NetId>> buckets_;  // per level
+};
+
+}  // namespace bibs::fault

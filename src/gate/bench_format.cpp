@@ -1,0 +1,213 @@
+#include "gate/bench_format.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace bibs::gate {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw ParseError("bench line " + std::to_string(line) + ": " + why);
+}
+
+struct PendingGate {
+  int line;
+  std::string name;
+  std::string type;
+  std::vector<std::string> operands;
+};
+
+}  // namespace
+
+Netlist parse_bench(const std::string& text) {
+  // Pass 1: collect declarations.
+  std::vector<std::string> inputs, outputs;
+  std::vector<PendingGate> gates;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      if (const auto hash = raw.find('#'); hash != std::string::npos)
+        raw.erase(hash);
+      const std::string line = trim(raw);
+      if (line.empty()) continue;
+
+      auto parse_call = [&](const std::string& s)
+          -> std::pair<std::string, std::vector<std::string>> {
+        const auto open = s.find('(');
+        const auto close = s.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+          fail(lineno, "expected NAME(...)");
+        const std::string head = upper(trim(s.substr(0, open)));
+        std::vector<std::string> args;
+        std::string cur;
+        for (std::size_t i = open + 1; i < close; ++i) {
+          if (s[i] == ',') {
+            args.push_back(trim(cur));
+            cur.clear();
+          } else {
+            cur.push_back(s[i]);
+          }
+        }
+        if (!trim(cur).empty()) args.push_back(trim(cur));
+        return {head, args};
+      };
+
+      const auto eq = line.find('=');
+      if (eq == std::string::npos) {
+        auto [head, args] = parse_call(line);
+        if (args.size() != 1) fail(lineno, head + " expects one signal");
+        if (head == "INPUT") inputs.push_back(args[0]);
+        else if (head == "OUTPUT") outputs.push_back(args[0]);
+        else fail(lineno, "unknown declaration '" + head + "'");
+      } else {
+        PendingGate g;
+        g.line = lineno;
+        g.name = trim(line.substr(0, eq));
+        if (g.name.empty()) fail(lineno, "missing signal name");
+        auto [head, args] = parse_call(line.substr(eq + 1));
+        g.type = head;
+        g.operands = std::move(args);
+        gates.push_back(std::move(g));
+      }
+    }
+  }
+
+  // Pass 2: create nets, then wire (signals may be referenced before
+  // definition; gate fan-ins must already exist, so we emit in dependency
+  // order via memoized recursion; DFF D pins are patched afterwards).
+  Netlist nl;
+  std::map<std::string, NetId> nets;
+  std::map<std::string, const PendingGate*> by_name;
+  for (const PendingGate& g : gates) {
+    if (by_name.count(g.name))
+      fail(g.line, "signal '" + g.name + "' defined twice");
+    by_name[g.name] = &g;
+  }
+  for (const std::string& i : inputs) {
+    if (by_name.count(i))
+      throw ParseError("bench: input '" + i + "' also has a gate definition");
+    nets[i] = nl.add_input(i);
+  }
+  // DFF outputs exist before their D cones.
+  std::vector<std::pair<NetId, const PendingGate*>> dff_fixups;
+  for (const PendingGate& g : gates)
+    if (g.type == "DFF") {
+      if (g.operands.size() != 1) fail(g.line, "DFF expects one operand");
+      nets[g.name] = nl.add_dff(kNoNet, g.name);
+      dff_fixups.emplace_back(nets[g.name], &g);
+    }
+
+  std::vector<std::string> stack;
+  std::function<NetId(const std::string&, int)> resolve =
+      [&](const std::string& name, int from_line) -> NetId {
+    if (auto it = nets.find(name); it != nets.end()) return it->second;
+    auto def = by_name.find(name);
+    if (def == by_name.end())
+      fail(from_line, "undefined signal '" + name + "'");
+    const PendingGate& g = *def->second;
+    if (std::find(stack.begin(), stack.end(), name) != stack.end())
+      fail(g.line, "combinational cycle through '" + name + "'");
+    stack.push_back(name);
+    std::vector<NetId> fanin;
+    for (const std::string& op : g.operands)
+      fanin.push_back(resolve(op, g.line));
+    stack.pop_back();
+    GateType t;
+    if (g.type == "AND") t = GateType::kAnd;
+    else if (g.type == "OR") t = GateType::kOr;
+    else if (g.type == "NAND") t = GateType::kNand;
+    else if (g.type == "NOR") t = GateType::kNor;
+    else if (g.type == "XOR") t = GateType::kXor;
+    else if (g.type == "XNOR") t = GateType::kXnor;
+    else if (g.type == "NOT") t = GateType::kNot;
+    else if (g.type == "BUF" || g.type == "BUFF") t = GateType::kBuf;
+    else fail(g.line, "unknown gate type '" + g.type + "'");
+    const NetId id = nl.add_gate(t, std::move(fanin), g.name);
+    nets[name] = id;
+    return id;
+  };
+
+  for (const PendingGate& g : gates)
+    if (g.type != "DFF") (void)resolve(g.name, g.line);
+  for (auto& [dff, g] : dff_fixups)
+    nl.set_dff_d(dff, resolve(g->operands[0], g->line));
+  for (const std::string& o : outputs) {
+    auto it = nets.find(o);
+    if (it == nets.end())
+      throw ParseError("bench: output '" + o + "' is undefined");
+    nl.mark_output(it->second, o);
+  }
+  nl.validate();
+  return nl;
+}
+
+std::string to_bench(const Netlist& nl) {
+  std::ostringstream os;
+  std::vector<std::string> name(nl.net_count());
+  std::map<std::string, int> used;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    std::string base = g.name.empty() ? "n" + std::to_string(id) : g.name;
+    // .bench identifiers cannot contain parentheses/commas/spaces.
+    for (char& c : base)
+      if (c == '(' || c == ')' || c == ',' || std::isspace(
+              static_cast<unsigned char>(c)))
+        c = '_';
+    if (int& count = used[base]; count++ > 0)
+      base += "_" + std::to_string(id);
+    name[static_cast<std::size_t>(id)] = base;
+  }
+  for (NetId i : nl.inputs())
+    os << "INPUT(" << name[static_cast<std::size_t>(i)] << ")\n";
+  for (NetId o : nl.outputs())
+    os << "OUTPUT(" << name[static_cast<std::size_t>(o)] << ")\n";
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    const char* t = nullptr;
+    switch (g.type) {
+      case GateType::kInput: continue;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        throw DesignError(
+            "to_bench: constant nets are not representable in .bench");
+      case GateType::kAnd: t = "AND"; break;
+      case GateType::kOr: t = "OR"; break;
+      case GateType::kNand: t = "NAND"; break;
+      case GateType::kNor: t = "NOR"; break;
+      case GateType::kXor: t = "XOR"; break;
+      case GateType::kXnor: t = "XNOR"; break;
+      case GateType::kNot: t = "NOT"; break;
+      case GateType::kBuf: t = "BUFF"; break;
+      case GateType::kDff: t = "DFF"; break;
+    }
+    os << name[static_cast<std::size_t>(id)] << " = " << t << "(";
+    for (std::size_t i = 0; i < g.fanin.size(); ++i)
+      os << (i ? ", " : "")
+         << name[static_cast<std::size_t>(g.fanin[i])];
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace bibs::gate

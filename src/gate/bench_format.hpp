@@ -1,0 +1,28 @@
+#pragma once
+// ISCAS-89 ".bench" format I/O for gate netlists — the lingua franca of the
+// test-generation literature this paper belongs to. Lets users import
+// standard benchmarks into the fault simulator / ATPG, and export the
+// kernels and synthesized TPGs this library produces.
+//
+// Supported grammar (case-insensitive keywords, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(op1, op2, ...)     GATE in {AND OR NAND NOR XOR XNOR NOT
+//                                           BUF BUFF DFF}
+// Signals may be used before their defining line (two-pass resolution).
+
+#include <string>
+
+#include "gate/netlist.hpp"
+
+namespace bibs::gate {
+
+/// Parses .bench text. Throws bibs::ParseError with a line number on
+/// malformed input.
+Netlist parse_bench(const std::string& text);
+
+/// Serializes to .bench. Unnamed nets get synthetic names (n<i>);
+/// parse_bench(to_bench(nl)) is a structural round-trip.
+std::string to_bench(const Netlist& nl);
+
+}  // namespace bibs::gate

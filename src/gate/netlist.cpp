@@ -1,0 +1,211 @@
+#include "gate/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace bibs::gate {
+
+const char* to_string(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "input";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kOr: return "or";
+    case GateType::kNand: return "nand";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kDff: return "dff";
+  }
+  return "?";
+}
+
+bool is_source(GateType t) {
+  return t == GateType::kInput || t == GateType::kConst0 ||
+         t == GateType::kConst1;
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{GateType::kInput, {}, name});
+  inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_const(bool value) {
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(
+      Gate{value ? GateType::kConst1 : GateType::kConst0, {}, {}});
+  return id;
+}
+
+NetId Netlist::add_gate(GateType type, std::vector<NetId> fanin,
+                        const std::string& name) {
+  BIBS_ASSERT(!is_source(type) && type != GateType::kDff);
+  const bool unary = type == GateType::kBuf || type == GateType::kNot;
+  BIBS_ASSERT(unary ? fanin.size() == 1 : fanin.size() >= 2);
+  for (NetId f : fanin)
+    BIBS_ASSERT(f >= 0 && static_cast<std::size_t>(f) < gates_.size());
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{type, std::move(fanin), name});
+  return id;
+}
+
+NetId Netlist::add_dff(NetId d, const std::string& name) {
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{GateType::kDff, {}, name});
+  if (d != kNoNet) gates_.back().fanin.push_back(d);
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_d(NetId dff, NetId d) {
+  BIBS_ASSERT(dff >= 0 && static_cast<std::size_t>(dff) < gates_.size());
+  BIBS_ASSERT(d >= 0 && static_cast<std::size_t>(d) < gates_.size());
+  Gate& g = gates_[static_cast<std::size_t>(dff)];
+  BIBS_ASSERT(g.type == GateType::kDff);
+  g.fanin.assign(1, d);
+}
+
+void Netlist::mark_output(NetId net, const std::string& name) {
+  BIBS_ASSERT(net >= 0 && static_cast<std::size_t>(net) < gates_.size());
+  outputs_.push_back(net);
+  output_names_.push_back(name);
+}
+
+std::size_t Netlist::gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_)
+    if (!is_source(g.type) && g.type != GateType::kDff) ++n;
+  return n;
+}
+
+std::vector<std::size_t> Netlist::gate_histogram() const {
+  std::vector<std::size_t> h(static_cast<std::size_t>(GateType::kDff) + 1, 0);
+  for (const Gate& g : gates_) ++h[static_cast<std::size_t>(g.type)];
+  return h;
+}
+
+std::vector<NetId> Netlist::comb_topo_order() const {
+  const std::size_t n = gates_.size();
+  std::vector<int> pending(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = gates_[i];
+    if (is_source(g.type) || g.type == GateType::kDff) continue;
+    pending[i] = static_cast<int>(g.fanin.size());
+    // Fan-ins that are sources or DFF outputs are already available.
+    for (NetId f : g.fanin) {
+      const GateType ft = gates_[static_cast<std::size_t>(f)].type;
+      if (is_source(ft) || ft == GateType::kDff) --pending[i];
+    }
+  }
+  // Seed: combinational gates whose fan-ins are all sources/DFFs.
+  std::deque<NetId> q;
+  std::vector<std::vector<NetId>> comb_fanout(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = gates_[i];
+    if (is_source(g.type) || g.type == GateType::kDff) continue;
+    for (NetId f : g.fanin) {
+      const GateType ft = gates_[static_cast<std::size_t>(f)].type;
+      if (!is_source(ft) && ft != GateType::kDff)
+        comb_fanout[static_cast<std::size_t>(f)].push_back(
+            static_cast<NetId>(i));
+    }
+    if (pending[i] == 0) q.push_back(static_cast<NetId>(i));
+  }
+  std::vector<NetId> order;
+  while (!q.empty()) {
+    const NetId v = q.front();
+    q.pop_front();
+    order.push_back(v);
+    for (NetId t : comb_fanout[static_cast<std::size_t>(v)])
+      if (--pending[static_cast<std::size_t>(t)] == 0) q.push_back(t);
+  }
+  std::size_t comb_total = 0;
+  for (const Gate& g : gates_)
+    if (!is_source(g.type) && g.type != GateType::kDff) ++comb_total;
+  if (order.size() != comb_total)
+    throw DesignError("gate netlist has a combinational cycle");
+  return order;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.type == GateType::kDff && g.fanin.size() != 1)
+      throw DesignError("dff " + std::to_string(i) + " has unconnected D");
+    for (NetId f : g.fanin)
+      if (f < 0 || static_cast<std::size_t>(f) >= gates_.size())
+        throw DesignError("gate " + std::to_string(i) + " has a bad fan-in");
+  }
+  (void)comb_topo_order();  // throws on combinational cycles
+}
+
+Netlist Netlist::pruned() const {
+  // Mark everything reaching a primary output, traversing backwards through
+  // both combinational gates and DFFs.
+  const std::size_t n = gates_.size();
+  std::vector<char> keep(n, 0);
+  std::deque<NetId> q;
+  for (NetId o : outputs_)
+    if (!keep[static_cast<std::size_t>(o)]) {
+      keep[static_cast<std::size_t>(o)] = 1;
+      q.push_back(o);
+    }
+  while (!q.empty()) {
+    const NetId v = q.front();
+    q.pop_front();
+    for (NetId f : gates_[static_cast<std::size_t>(v)].fanin)
+      if (!keep[static_cast<std::size_t>(f)]) {
+        keep[static_cast<std::size_t>(f)] = 1;
+        q.push_back(f);
+      }
+  }
+  // Inputs are always kept so the PI interface is stable.
+  for (NetId i : inputs_) keep[static_cast<std::size_t>(i)] = 1;
+
+  // Combinational fan-ins always reference earlier gates, but a DFF's D net
+  // may be a forward reference (set_dff_d), so DFF inputs are wired in a
+  // second pass.
+  Netlist out;
+  std::vector<NetId> remap(n, kNoNet);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    const Gate& g = gates_[i];
+    NetId id;
+    switch (g.type) {
+      case GateType::kInput: id = out.add_input(g.name); break;
+      case GateType::kConst0: id = out.add_const(false); break;
+      case GateType::kConst1: id = out.add_const(true); break;
+      case GateType::kDff: id = out.add_dff(kNoNet, g.name); break;
+      default: {
+        std::vector<NetId> fanin;
+        fanin.reserve(g.fanin.size());
+        for (NetId f : g.fanin) {
+          BIBS_ASSERT(remap[static_cast<std::size_t>(f)] != kNoNet);
+          fanin.push_back(remap[static_cast<std::size_t>(f)]);
+        }
+        id = out.add_gate(g.type, std::move(fanin), g.name);
+        break;
+      }
+    }
+    remap[i] = id;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep[i] || gates_[i].type != GateType::kDff) continue;
+    if (!gates_[i].fanin.empty()) {
+      const NetId d = remap[static_cast<std::size_t>(gates_[i].fanin[0])];
+      BIBS_ASSERT(d != kNoNet);
+      out.set_dff_d(remap[i], d);
+    }
+  }
+  for (std::size_t k = 0; k < outputs_.size(); ++k)
+    out.mark_output(remap[static_cast<std::size_t>(outputs_[k])],
+                    output_names_[k]);
+  return out;
+}
+
+}  // namespace bibs::gate

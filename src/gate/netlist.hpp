@@ -1,0 +1,98 @@
+#pragma once
+// Gate-level netlist: the substrate under the RTL model. The fault simulator
+// and the BIST session emulator both run on this representation.
+//
+// Every gate's output is a net, and the gate is identified by its output
+// NetId. Primary inputs and constants are source "gates" with no fan-in;
+// D flip-flops are sequential gates whose single fan-in is the D net.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bibs::gate {
+
+using NetId = std::int32_t;
+inline constexpr NetId kNoNet = -1;
+
+enum class GateType : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,
+};
+
+const char* to_string(GateType t);
+bool is_source(GateType t);
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<NetId> fanin;
+  std::string name;  ///< optional label for debugging / reports
+};
+
+class Netlist {
+ public:
+  NetId add_input(const std::string& name = {});
+  NetId add_const(bool value);
+  /// Adds a combinational gate. Arity checks: kBuf/kNot take one fan-in,
+  /// all others at least two.
+  NetId add_gate(GateType type, std::vector<NetId> fanin,
+                 const std::string& name = {});
+  /// Adds a D flip-flop whose D input may be connected later via set_dff_d.
+  NetId add_dff(NetId d = kNoNet, const std::string& name = {});
+  void set_dff_d(NetId dff, NetId d);
+
+  void mark_output(NetId net, const std::string& name = {});
+
+  std::size_t net_count() const { return gates_.size(); }
+  const Gate& gate(NetId id) const {
+    BIBS_ASSERT(id >= 0 && static_cast<std::size_t>(id) < gates_.size());
+    return gates_[static_cast<std::size_t>(id)];
+  }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  const std::vector<std::string>& output_names() const { return output_names_; }
+  const std::vector<NetId>& dffs() const { return dffs_; }
+
+  /// Number of combinational gates (excludes inputs, constants and DFFs) —
+  /// the "# of gates" metric of the paper's Table 1.
+  std::size_t gate_count() const;
+  /// Gate count per type.
+  std::vector<std::size_t> gate_histogram() const;
+
+  /// Checks that every gate's fan-ins are defined, every DFF has a D net,
+  /// and the combinational part is acyclic. Throws bibs::DesignError.
+  void validate() const;
+
+  /// Returns a copy with dead logic removed: gates that reach no primary
+  /// output (through any mix of combinational gates and DFFs) are dropped.
+  /// Used after synthesizing truncated multipliers so that undetectable
+  /// faults in discarded high-order logic do not pollute coverage numbers.
+  Netlist pruned() const;
+
+  /// Topological order of combinational gates (sources and DFF outputs are
+  /// treated as level-0 sources and are not included).
+  std::vector<NetId> comb_topo_order() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> output_names_;
+  std::vector<NetId> dffs_;
+};
+
+}  // namespace bibs::gate

@@ -1,0 +1,112 @@
+#include "gate/sim.hpp"
+
+namespace bibs::gate {
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(&nl),
+      topo_(nl.comb_topo_order()),
+      values_(nl.net_count(), 0),
+      state_(nl.net_count(), 0) {
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
+    if (nl.gate(id).type == GateType::kConst1)
+      values_[static_cast<std::size_t>(id)] = ~0ull;
+}
+
+void Simulator::set_input(NetId net, std::uint64_t word) {
+  BIBS_ASSERT(nl_->gate(net).type == GateType::kInput);
+  values_[static_cast<std::size_t>(net)] = word;
+}
+
+void Simulator::set_state(NetId dff, std::uint64_t word) {
+  BIBS_ASSERT(nl_->gate(dff).type == GateType::kDff);
+  state_[static_cast<std::size_t>(dff)] = word;
+  values_[static_cast<std::size_t>(dff)] = word;
+}
+
+std::uint64_t Simulator::eval_gate(GateType t, const std::uint64_t* in,
+                                   std::size_t n) {
+  std::uint64_t v;
+  switch (t) {
+    case GateType::kBuf: return in[0];
+    case GateType::kNot: return ~in[0];
+    case GateType::kAnd:
+    case GateType::kNand:
+      v = in[0];
+      for (std::size_t i = 1; i < n; ++i) v &= in[i];
+      return t == GateType::kAnd ? v : ~v;
+    case GateType::kOr:
+    case GateType::kNor:
+      v = in[0];
+      for (std::size_t i = 1; i < n; ++i) v |= in[i];
+      return t == GateType::kOr ? v : ~v;
+    case GateType::kXor:
+    case GateType::kXnor:
+      v = in[0];
+      for (std::size_t i = 1; i < n; ++i) v ^= in[i];
+      return t == GateType::kXor ? v : ~v;
+    default: BIBS_ASSERT(false && "eval_gate on a non-combinational gate");
+  }
+  return 0;
+}
+
+void Simulator::eval() {
+  // DFF outputs present their state.
+  for (NetId d : nl_->dffs())
+    values_[static_cast<std::size_t>(d)] = state_[static_cast<std::size_t>(d)];
+  std::uint64_t in[64];
+  for (NetId id : topo_) {
+    const Gate& g = nl_->gate(id);
+    const std::size_t n = g.fanin.size();
+    BIBS_ASSERT(n <= 64);
+    for (std::size_t i = 0; i < n; ++i)
+      in[i] = values_[static_cast<std::size_t>(g.fanin[i])];
+    values_[static_cast<std::size_t>(id)] = eval_gate(g.type, in, n);
+  }
+}
+
+void Simulator::clock() {
+  for (NetId d : nl_->dffs()) {
+    const Gate& g = nl_->gate(d);
+    BIBS_ASSERT(g.fanin.size() == 1);
+    state_[static_cast<std::size_t>(d)] =
+        values_[static_cast<std::size_t>(g.fanin[0])];
+  }
+}
+
+void Simulator::reset() {
+  for (NetId d : nl_->dffs()) {
+    state_[static_cast<std::size_t>(d)] = 0;
+    values_[static_cast<std::size_t>(d)] = 0;
+  }
+}
+
+void Simulator::set_bus(const std::vector<NetId>& bus,
+                        std::uint64_t value_per_lane) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set_input(bus[i], ((value_per_lane >> i) & 1u) ? ~0ull : 0ull);
+}
+
+void Simulator::set_bus_lane(const std::vector<NetId>& bus, int lane,
+                             std::uint64_t value) {
+  BIBS_ASSERT(lane >= 0 && lane < 64);
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    auto& w = values_[static_cast<std::size_t>(bus[i])];
+    const std::uint64_t mask = 1ull << lane;
+    if ((value >> i) & 1u)
+      w |= mask;
+    else
+      w &= ~mask;
+  }
+}
+
+std::uint64_t Simulator::bus_value(const std::vector<NetId>& bus,
+                                   int lane) const {
+  BIBS_ASSERT(lane >= 0 && lane < 64 && bus.size() <= 64);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if ((values_[static_cast<std::size_t>(bus[i])] >> lane) & 1u)
+      v |= 1ull << i;
+  return v;
+}
+
+}  // namespace bibs::gate

@@ -1,0 +1,347 @@
+#include "gate/synth.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/analysis.hpp"
+
+namespace bibs::gate {
+
+namespace {
+
+// Full adder: 5 gates (2 XOR, 2 AND, 1 OR).
+struct FaOut {
+  NetId sum;
+  NetId carry;
+};
+
+FaOut full_adder(Netlist& nl, NetId a, NetId b, NetId c) {
+  const NetId axb = nl.add_gate(GateType::kXor, {a, b});
+  const NetId sum = nl.add_gate(GateType::kXor, {axb, c});
+  const NetId ab = nl.add_gate(GateType::kAnd, {a, b});
+  const NetId cx = nl.add_gate(GateType::kAnd, {c, axb});
+  const NetId carry = nl.add_gate(GateType::kOr, {ab, cx});
+  return {sum, carry};
+}
+
+FaOut half_adder(Netlist& nl, NetId a, NetId b) {
+  return {nl.add_gate(GateType::kXor, {a, b}),
+          nl.add_gate(GateType::kAnd, {a, b})};
+}
+
+}  // namespace
+
+Bus ripple_adder(Netlist& nl, const Bus& a, const Bus& b, bool keep_carry,
+                 NetId carry_in) {
+  BIBS_ASSERT(!a.empty() && a.size() == b.size());
+  Bus sum;
+  sum.reserve(a.size() + (keep_carry ? 1 : 0));
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (carry == kNoNet) {
+      const bool last = (i + 1 == a.size()) && !keep_carry;
+      if (last) {
+        sum.push_back(nl.add_gate(GateType::kXor, {a[i], b[i]}));
+      } else {
+        const FaOut r = half_adder(nl, a[i], b[i]);
+        sum.push_back(r.sum);
+        carry = r.carry;
+      }
+    } else {
+      const bool last = (i + 1 == a.size()) && !keep_carry;
+      if (last) {
+        const NetId axb = nl.add_gate(GateType::kXor, {a[i], b[i]});
+        sum.push_back(nl.add_gate(GateType::kXor, {axb, carry}));
+      } else {
+        const FaOut r = full_adder(nl, a[i], b[i], carry);
+        sum.push_back(r.sum);
+        carry = r.carry;
+      }
+    }
+  }
+  if (keep_carry) {
+    BIBS_ASSERT(carry != kNoNet);
+    sum.push_back(carry);
+  }
+  return sum;
+}
+
+Bus ripple_subtractor(Netlist& nl, const Bus& a, const Bus& b) {
+  BIBS_ASSERT(!a.empty() && a.size() == b.size());
+  const Bus nb = bitwise_not(nl, b);
+  return ripple_adder(nl, a, nb, /*keep_carry=*/false, nl.add_const(true));
+}
+
+Bus array_multiplier(Netlist& nl, const Bus& a, const Bus& b,
+                     std::size_t out_width) {
+  BIBS_ASSERT(!a.empty() && !b.empty());
+  BIBS_ASSERT(out_width >= 1 && out_width <= a.size() + b.size());
+  // Shift-and-add array. Positions >= out_width are never synthesized (so a
+  // truncated product contains no structurally dead logic), and known-zero
+  // accumulator cells are tracked as kNoNet instead of constant nets (so no
+  // gate has a constant input, which would create untestable pins).
+  Bus acc(out_width, kNoNet);
+  for (std::size_t r = 0; r < b.size() && r < out_width; ++r) {
+    NetId carry = kNoNet;
+    for (std::size_t pos = r; pos < out_width; ++pos) {
+      const std::size_t i = pos - r;  // index into a
+      const NetId pp = (i < a.size())
+                           ? nl.add_gate(GateType::kAnd, {a[i], b[r]})
+                           : kNoNet;
+      if (pp == kNoNet && carry == kNoNet) break;  // row exhausted
+      const bool last = (pos + 1 == out_width);    // drop the final carry
+      NetId terms[3];
+      std::size_t nterms = 0;
+      if (acc[pos] != kNoNet) terms[nterms++] = acc[pos];
+      if (pp != kNoNet) terms[nterms++] = pp;
+      if (carry != kNoNet) terms[nterms++] = carry;
+      carry = kNoNet;
+      switch (nterms) {
+        case 1:
+          acc[pos] = terms[0];
+          break;
+        case 2:
+          if (last) {
+            acc[pos] = nl.add_gate(GateType::kXor, {terms[0], terms[1]});
+          } else {
+            const FaOut ha = half_adder(nl, terms[0], terms[1]);
+            acc[pos] = ha.sum;
+            carry = ha.carry;
+          }
+          break;
+        case 3:
+          if (last) {
+            acc[pos] = nl.add_gate(GateType::kXor,
+                                   {terms[0], terms[1], terms[2]});
+          } else {
+            const FaOut fa = full_adder(nl, terms[0], terms[1], terms[2]);
+            acc[pos] = fa.sum;
+            carry = fa.carry;
+          }
+          break;
+        default:
+          BIBS_ASSERT(false && "unreachable");
+      }
+    }
+  }
+  // Any cell never touched by a partial product is constant 0.
+  for (NetId& cell : acc)
+    if (cell == kNoNet) cell = nl.add_const(false);
+  return acc;
+}
+
+Bus bitwise(Netlist& nl, GateType type, const Bus& a, const Bus& b) {
+  BIBS_ASSERT(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(nl.add_gate(type, {a[i], b[i]}));
+  return out;
+}
+
+Bus bitwise_not(Netlist& nl, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (NetId n : a) out.push_back(nl.add_gate(GateType::kNot, {n}));
+  return out;
+}
+
+namespace {
+
+Bus comb_block(Netlist& nl, const rtl::Block& b, const std::vector<Bus>& in) {
+  auto want_arity = [&](std::size_t k) {
+    if (in.size() != k)
+      throw DesignError("block '" + b.name + "' (" + b.op + ") expects " +
+                        std::to_string(k) + " input ports, has " +
+                        std::to_string(in.size()));
+  };
+  auto want_width = [&](const Bus& bus) {
+    if (bus.size() != static_cast<std::size_t>(b.width))
+      throw DesignError("block '" + b.name + "': input width " +
+                        std::to_string(bus.size()) + " != block width " +
+                        std::to_string(b.width));
+  };
+  const std::string& op = b.op;
+  if (op == "add") {
+    // n-ary adders fold left: (((p0 + p1) + p2) + ...), each mod 2^width.
+    if (in.size() < 2)
+      throw DesignError("block '" + b.name +
+                        "' (add) needs at least two input ports");
+    for (const Bus& bus : in) want_width(bus);
+    Bus acc = ripple_adder(nl, in[0], in[1]);
+    for (std::size_t k = 2; k < in.size(); ++k)
+      acc = ripple_adder(nl, acc, in[k]);
+    return acc;
+  }
+  if (op == "sub" || op == "mul") {
+    want_arity(2);
+    want_width(in[0]);
+    want_width(in[1]);
+    if (op == "sub") return ripple_subtractor(nl, in[0], in[1]);
+    return array_multiplier(nl, in[0], in[1],
+                            static_cast<std::size_t>(b.width));
+  }
+  if (op == "and" || op == "or" || op == "xor" || op == "nand" ||
+      op == "nor" || op == "xnor") {
+    // Bitwise blocks are n-ary: one n-input gate per bit position.
+    if (in.size() < 2)
+      throw DesignError("block '" + b.name + "' (" + op +
+                        ") needs at least two input ports");
+    for (const Bus& bus : in) want_width(bus);
+    GateType t;
+    if (op == "and") t = GateType::kAnd;
+    else if (op == "or") t = GateType::kOr;
+    else if (op == "xor") t = GateType::kXor;
+    else if (op == "nand") t = GateType::kNand;
+    else if (op == "nor") t = GateType::kNor;
+    else t = GateType::kXnor;
+    Bus out;
+    out.reserve(static_cast<std::size_t>(b.width));
+    for (int bit = 0; bit < b.width; ++bit) {
+      std::vector<NetId> fanin;
+      fanin.reserve(in.size());
+      for (const Bus& bus : in)
+        fanin.push_back(bus[static_cast<std::size_t>(bit)]);
+      out.push_back(nl.add_gate(t, std::move(fanin)));
+    }
+    return out;
+  }
+  if (op == "not") {
+    want_arity(1);
+    want_width(in[0]);
+    return bitwise_not(nl, in[0]);
+  }
+  if (op == "buf" || op == "pass") {
+    want_arity(1);
+    want_width(in[0]);
+    return in[0];
+  }
+  throw DesignError("block '" + b.name + "': unknown op '" + op + "'");
+}
+
+}  // namespace
+
+Elaboration elaborate(const rtl::Netlist& n) {
+  n.validate();
+  Elaboration e;
+  Netlist& nl = e.netlist;
+
+  // 1. DFF banks for every register edge; Q nets exist before any logic.
+  for (rtl::ConnId cid : n.register_edges()) {
+    const rtl::Connection& c = n.connection(cid);
+    Bus q;
+    for (int i = 0; i < c.reg->width; ++i)
+      q.push_back(nl.add_dff(kNoNet, c.reg->name + "[" + std::to_string(i) +
+                                         "]"));
+    e.reg_q[cid] = std::move(q);
+  }
+
+  // 2. Blocks in combinational topological order (register edges broken).
+  graph::EdgeSet reg_edges;
+  for (rtl::ConnId cid : n.register_edges()) reg_edges.insert(cid);
+  const auto order = graph::topological_order(n, reg_edges);
+
+  for (rtl::BlockId bid : order) {
+    const rtl::Block& b = n.block(bid);
+    std::vector<Bus> in;
+    for (rtl::ConnId cid : n.fanin(bid)) {
+      const rtl::Connection& c = n.connection(cid);
+      in.push_back(c.is_register() ? e.reg_q.at(cid) : e.block_out.at(c.from));
+    }
+    switch (b.kind) {
+      case rtl::BlockKind::kInput: {
+        Bus bus;
+        for (int i = 0; i < b.width; ++i)
+          bus.push_back(nl.add_input(b.name + "[" + std::to_string(i) + "]"));
+        e.block_out[bid] = std::move(bus);
+        break;
+      }
+      case rtl::BlockKind::kOutput:
+        BIBS_ASSERT(in.size() == 1);
+        for (std::size_t i = 0; i < in[0].size(); ++i)
+          nl.mark_output(in[0][i], b.name + "[" + std::to_string(i) + "]");
+        e.block_out[bid] = in[0];
+        break;
+      case rtl::BlockKind::kFanout:
+      case rtl::BlockKind::kVacuous:
+        BIBS_ASSERT(in.size() == 1);
+        e.block_out[bid] = in[0];
+        break;
+      case rtl::BlockKind::kComb:
+        e.block_out[bid] = comb_block(nl, b, in);
+        break;
+    }
+  }
+
+  // 3. Connect D pins.
+  for (rtl::ConnId cid : n.register_edges()) {
+    const rtl::Connection& c = n.connection(cid);
+    const Bus& src = e.block_out.at(c.from);
+    BIBS_ASSERT(src.size() == e.reg_q.at(cid).size());
+    e.reg_d[cid] = src;
+    for (std::size_t i = 0; i < src.size(); ++i)
+      nl.set_dff_d(e.reg_q.at(cid)[i], src[i]);
+  }
+  nl.validate();
+  return e;
+}
+
+Netlist combinational_kernel(const Elaboration& e, const rtl::Netlist& n,
+                             const std::vector<rtl::ConnId>& input_regs,
+                             const std::vector<rtl::ConnId>& output_regs) {
+  Netlist out;
+  std::vector<NetId> remap(e.netlist.net_count(), kNoNet);
+
+  // Kernel PIs: input register Q cells, in the given register order.
+  for (rtl::ConnId cid : input_regs) {
+    const Bus& q = e.reg_q.at(cid);
+    const std::string rname = n.connection(cid).reg->name;
+    for (std::size_t i = 0; i < q.size(); ++i)
+      remap[static_cast<std::size_t>(q[i])] =
+          out.add_input(rname + "[" + std::to_string(i) + "]");
+  }
+
+  // Depth-first copy of the cone behind each output D pin. Internal DFFs
+  // collapse to their D cone (combinational equivalent of a balanced kernel).
+  std::function<NetId(NetId)> copy = [&](NetId src) -> NetId {
+    NetId& slot = remap[static_cast<std::size_t>(src)];
+    if (slot != kNoNet) return slot;
+    const Gate& g = e.netlist.gate(src);
+    switch (g.type) {
+      case GateType::kInput:
+        // A PI reached without passing a kernel input register: expose it.
+        slot = out.add_input(g.name);
+        return slot;
+      case GateType::kConst0: slot = out.add_const(false); return slot;
+      case GateType::kConst1: slot = out.add_const(true); return slot;
+      case GateType::kDff: {
+        BIBS_ASSERT(g.fanin.size() == 1);
+        const NetId d = copy(g.fanin[0]);
+        slot = remap[static_cast<std::size_t>(src)];
+        if (slot != kNoNet) return slot;  // resolved during recursion
+        slot = d;  // register becomes a wire
+        return slot;
+      }
+      default: {
+        std::vector<NetId> fanin;
+        fanin.reserve(g.fanin.size());
+        for (NetId f : g.fanin) fanin.push_back(copy(f));
+        slot = remap[static_cast<std::size_t>(src)];
+        if (slot != kNoNet) return slot;
+        slot = out.add_gate(g.type, std::move(fanin), g.name);
+        return slot;
+      }
+    }
+  };
+
+  for (rtl::ConnId cid : output_regs) {
+    const Bus& d = e.reg_d.at(cid);
+    const std::string rname = n.connection(cid).reg->name;
+    for (std::size_t i = 0; i < d.size(); ++i)
+      out.mark_output(copy(d[i]), rname + ".D[" + std::to_string(i) + "]");
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace bibs::gate

@@ -1,0 +1,67 @@
+#pragma once
+// Structural synthesis: bit-level generators for the RTL operations the data
+// path circuits use (ripple-carry adders, truncated array multipliers,
+// bitwise blocks) and the elaborator that lowers an rtl::Netlist to gates.
+
+#include <map>
+#include <vector>
+
+#include "gate/netlist.hpp"
+#include "rtl/netlist.hpp"
+
+namespace bibs::gate {
+
+/// A bus is an LSB-first list of nets.
+using Bus = std::vector<NetId>;
+
+/// sum = a + b (+ carry_in). Output has a.size() bits plus a carry bit when
+/// keep_carry is true. a and b must have equal width.
+Bus ripple_adder(Netlist& nl, const Bus& a, const Bus& b,
+                 bool keep_carry = false, NetId carry_in = kNoNet);
+
+/// diff = a - b (two's complement), modulo 2^width.
+Bus ripple_subtractor(Netlist& nl, const Bus& a, const Bus& b);
+
+/// product = low `out_width` bits of a * b, built as a shift-and-add array
+/// multiplier with all logic above out_width truncated away at synthesis
+/// time (the paper's data paths keep only the 8 least significant product
+/// lines). out_width <= a.size() + b.size().
+Bus array_multiplier(Netlist& nl, const Bus& a, const Bus& b,
+                     std::size_t out_width);
+
+/// Bitwise two-input blocks (and/or/xor/...).
+Bus bitwise(Netlist& nl, GateType type, const Bus& a, const Bus& b);
+/// Bitwise inverter.
+Bus bitwise_not(Netlist& nl, const Bus& a);
+
+/// Result of lowering an RTL netlist to gates.
+struct Elaboration {
+  Netlist netlist;
+  /// Q (output) nets of each register edge, LSB first.
+  std::map<rtl::ConnId, Bus> reg_q;
+  /// D (input) nets of each register edge.
+  std::map<rtl::ConnId, Bus> reg_d;
+  /// Output bus of every block.
+  std::map<rtl::BlockId, Bus> block_out;
+};
+
+/// Lowers an RTL netlist to a gate netlist. Registers become DFF banks; comb
+/// blocks dispatch on Block::op: "add", "sub", "mul", "and", "or", "xor",
+/// "nand", "nor", "xnor", "not", "buf". Throws bibs::DesignError on an
+/// unknown op or an arity/width mismatch.
+Elaboration elaborate(const rtl::Netlist& n);
+
+/// Extracts the combinational equivalent of a kernel from an elaboration:
+/// the cone of logic driving the D pins of `output_regs`, with the Q nets of
+/// `input_regs` becoming primary inputs and every *internal* register
+/// replaced by a wire. Valid for balanced kernels by the BALLAST result [8]:
+/// single-pattern stuck-at detection on this netlist equals detection on the
+/// sequential kernel with flushing.
+///
+/// PI order: registers in the given order, cells LSB first. PO order:
+/// likewise for output register D pins.
+Netlist combinational_kernel(const Elaboration& e, const rtl::Netlist& n,
+                             const std::vector<rtl::ConnId>& input_regs,
+                             const std::vector<rtl::ConnId>& output_regs);
+
+}  // namespace bibs::gate

@@ -1,0 +1,260 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace bibs::graph {
+
+namespace {
+
+bool live(const EdgeSet& removed, rtl::ConnId id) { return !removed.count(id); }
+
+}  // namespace
+
+std::vector<rtl::BlockId> topological_order(const rtl::Netlist& n,
+                                            const EdgeSet& removed) {
+  const std::size_t nv = n.block_count();
+  std::vector<int> indeg(nv, 0);
+  for (const auto& c : n.connections())
+    if (live(removed, c.id)) ++indeg[static_cast<std::size_t>(c.to)];
+  std::deque<rtl::BlockId> q;
+  for (std::size_t v = 0; v < nv; ++v)
+    if (indeg[v] == 0) q.push_back(static_cast<rtl::BlockId>(v));
+  std::vector<rtl::BlockId> order;
+  order.reserve(nv);
+  while (!q.empty()) {
+    const rtl::BlockId v = q.front();
+    q.pop_front();
+    order.push_back(v);
+    for (rtl::ConnId e : n.fanout(v)) {
+      if (!live(removed, e)) continue;
+      const rtl::BlockId t = n.connection(e).to;
+      if (--indeg[static_cast<std::size_t>(t)] == 0) q.push_back(t);
+    }
+  }
+  if (order.size() != nv)
+    throw DesignError("topological_order: graph is cyclic");
+  return order;
+}
+
+bool is_acyclic(const rtl::Netlist& n, const EdgeSet& removed) {
+  try {
+    topological_order(n, removed);
+    return true;
+  } catch (const DesignError&) {
+    return false;
+  }
+}
+
+std::vector<std::vector<rtl::ConnId>> find_cycles(const rtl::Netlist& n,
+                                                  std::size_t max_cycles) {
+  // DFS-based enumeration of simple cycles, rooted at each vertex in turn and
+  // restricted to vertices >= root so each cycle is reported exactly once
+  // (at its minimum vertex). Circuits handled by the TDM are small, so the
+  // exponential worst case is acceptable and capped by max_cycles.
+  std::vector<std::vector<rtl::ConnId>> cycles;
+  const std::size_t nv = n.block_count();
+  std::vector<char> on_path(nv, 0);
+  std::vector<rtl::ConnId> path;
+
+  for (std::size_t root = 0; root < nv && cycles.size() < max_cycles; ++root) {
+    struct Frame {
+      rtl::BlockId v;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({static_cast<rtl::BlockId>(root), 0});
+    on_path[root] = 1;
+    while (!stack.empty() && cycles.size() < max_cycles) {
+      Frame& f = stack.back();
+      const auto& outs = n.fanout(f.v);
+      if (f.next >= outs.size()) {
+        on_path[static_cast<std::size_t>(f.v)] = 0;
+        if (!path.empty()) path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const rtl::ConnId e = outs[f.next++];
+      const rtl::BlockId t = n.connection(e).to;
+      if (static_cast<std::size_t>(t) < root) continue;
+      if (t == static_cast<rtl::BlockId>(root)) {
+        auto cyc = path;
+        cyc.push_back(e);
+        cycles.push_back(std::move(cyc));
+        continue;
+      }
+      if (on_path[static_cast<std::size_t>(t)]) continue;
+      on_path[static_cast<std::size_t>(t)] = 1;
+      path.push_back(e);
+      stack.push_back({t, 0});
+    }
+    // Unwind bookkeeping for this root.
+    for (const Frame& f : stack) on_path[static_cast<std::size_t>(f.v)] = 0;
+    path.clear();
+  }
+  return cycles;
+}
+
+BalanceResult check_balanced(const rtl::Netlist& n, const EdgeSet& removed) {
+  BalanceResult res;
+  res.acyclic = is_acyclic(n, removed);
+  if (!res.acyclic) return res;
+  auto urfs = find_all_urfs(n, removed, 1);
+  if (!urfs.empty()) {
+    res.urfs = urfs.front();
+    return res;
+  }
+  res.balanced = true;
+  return res;
+}
+
+std::optional<int> path_sequential_length(const rtl::Netlist& n,
+                                          rtl::BlockId from, rtl::BlockId to,
+                                          const EdgeSet& removed) {
+  // BFS over (vertex, length) states; uniqueness enforced on arrival at `to`.
+  std::optional<int> found;
+  const int max_len = static_cast<int>(n.register_edges().size());
+  std::unordered_set<long long> visited;
+  std::deque<std::pair<rtl::BlockId, int>> q;
+  q.emplace_back(from, 0);
+  visited.insert(static_cast<long long>(from) << 32);
+  if (from == to) found = 0;
+  while (!q.empty()) {
+    auto [v, len] = q.front();
+    q.pop_front();
+    for (rtl::ConnId e : n.fanout(v)) {
+      if (!live(removed, e)) continue;
+      const rtl::Connection& c = n.connection(e);
+      const int nlen = len + (c.is_register() ? 1 : 0);
+      if (nlen > max_len) continue;
+      const long long key =
+          (static_cast<long long>(c.to) << 32) | static_cast<unsigned>(nlen);
+      if (!visited.insert(key).second) continue;
+      if (c.to == to) {
+        if (found && *found != nlen)
+          throw DesignError("path_sequential_length: paths of lengths " +
+                            std::to_string(*found) + " and " +
+                            std::to_string(nlen) + " (URFS)");
+        found = nlen;
+      }
+      q.emplace_back(c.to, nlen);
+    }
+  }
+  return found;
+}
+
+std::vector<UrfsWitness> find_all_urfs(const rtl::Netlist& n,
+                                       const EdgeSet& removed,
+                                       std::size_t max) {
+  // For each source vertex, BFS over (vertex, sequential length) states.
+  // A vertex reached with two distinct lengths from the same source is an
+  // URFS witness. States are bounded by depth <= #register edges.
+  std::vector<UrfsWitness> out;
+  const std::size_t nv = n.block_count();
+  // Sequential lengths of simple paths cannot exceed the register-edge count;
+  // bounding the BFS guarantees termination even on (invalid) cyclic input.
+  const int max_len = static_cast<int>(n.register_edges().size());
+  for (std::size_t s = 0; s < nv && out.size() < max; ++s) {
+    std::map<rtl::BlockId, int> first_len;
+    std::unordered_set<long long> visited;
+    std::deque<std::pair<rtl::BlockId, int>> q;
+    std::unordered_set<rtl::BlockId> reported;
+    q.emplace_back(static_cast<rtl::BlockId>(s), 0);
+    visited.insert(static_cast<long long>(s) << 32);
+    first_len[static_cast<rtl::BlockId>(s)] = 0;
+    while (!q.empty() && out.size() < max) {
+      auto [v, len] = q.front();
+      q.pop_front();
+      for (rtl::ConnId e : n.fanout(v)) {
+        if (!live(removed, e)) continue;
+        const rtl::Connection& c = n.connection(e);
+        const int nlen = len + (c.is_register() ? 1 : 0);
+        if (nlen > max_len) continue;
+        const long long key =
+            (static_cast<long long>(c.to) << 32) | static_cast<unsigned>(nlen);
+        if (!visited.insert(key).second) continue;
+        auto [it, inserted] = first_len.emplace(c.to, nlen);
+        if (!inserted && it->second != nlen && !reported.count(c.to)) {
+          reported.insert(c.to);
+          out.push_back(UrfsWitness{static_cast<rtl::BlockId>(s), c.to,
+                                    it->second, nlen});
+          if (out.size() >= max) break;
+        }
+        q.emplace_back(c.to, nlen);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<UrfsWitness> find_urfs(const rtl::Netlist& n,
+                                     const EdgeSet& removed) {
+  auto all = find_all_urfs(n, removed, 1);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+int sequential_depth(const rtl::Netlist& n) {
+  const auto order = topological_order(n);  // throws if cyclic
+  std::vector<int> depth(n.block_count(), 0);
+  int best = 0;
+  for (rtl::BlockId v : order) {
+    for (rtl::ConnId e : n.fanout(v)) {
+      const rtl::Connection& c = n.connection(e);
+      const int cand = depth[static_cast<std::size_t>(v)] +
+                       (c.is_register() ? 1 : 0);
+      auto& d = depth[static_cast<std::size_t>(c.to)];
+      d = std::max(d, cand);
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Depth-first enumeration of simple paths for the cyclic fallback of
+// max_marked_edges_on_path. Small circuits only.
+int dfs_max_marked(const rtl::Netlist& n, const EdgeSet& marked,
+                   rtl::BlockId v, std::vector<char>& on_path) {
+  int best = 0;
+  on_path[static_cast<std::size_t>(v)] = 1;
+  for (rtl::ConnId e : n.fanout(v)) {
+    const rtl::Connection& c = n.connection(e);
+    if (on_path[static_cast<std::size_t>(c.to)]) continue;
+    const int w = marked.count(e) ? 1 : 0;
+    best = std::max(best, w + dfs_max_marked(n, marked, c.to, on_path));
+  }
+  on_path[static_cast<std::size_t>(v)] = 0;
+  return best;
+}
+
+}  // namespace
+
+int max_marked_edges_on_path(const rtl::Netlist& n, const EdgeSet& marked) {
+  if (is_acyclic(n)) {
+    const auto order = topological_order(n);
+    std::vector<int> best(n.block_count(), 0);
+    int global = 0;
+    for (rtl::BlockId v : order) {
+      for (rtl::ConnId e : n.fanout(v)) {
+        const rtl::Connection& c = n.connection(e);
+        const int cand = best[static_cast<std::size_t>(v)] +
+                         (marked.count(e) ? 1 : 0);
+        auto& b = best[static_cast<std::size_t>(c.to)];
+        b = std::max(b, cand);
+        global = std::max(global, b);
+      }
+    }
+    return global;
+  }
+  // Cyclic circuit: bound to simple paths starting at primary inputs.
+  int best = 0;
+  std::vector<char> on_path(n.block_count(), 0);
+  for (rtl::BlockId pi : n.inputs())
+    best = std::max(best, dfs_max_marked(n, marked, pi, on_path));
+  return best;
+}
+
+}  // namespace bibs::graph

@@ -1,0 +1,88 @@
+#pragma once
+// Structural analyses on the circuit graph of Section 3.1: cycle detection
+// and enumeration, balance checking (equal sequential length of all paths
+// between every vertex pair), unbalanced-reconvergent-fanout detection, and
+// sequential depth. These are the predicates the BIBS designer optimizes
+// against.
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace bibs::graph {
+
+/// Set of connection ids treated as removed (e.g. BILBO edges) by the
+/// subgraph analyses.
+using EdgeSet = std::unordered_set<rtl::ConnId>;
+
+/// True iff the graph (ignoring edges in `removed`) has no directed cycle.
+bool is_acyclic(const rtl::Netlist& n, const EdgeSet& removed = {});
+
+/// Enumerates up to `max_cycles` simple directed cycles as edge-id lists.
+/// Every cycle in a valid netlist contains at least one register edge
+/// (combinational cycles are rejected by Netlist::validate()).
+std::vector<std::vector<rtl::ConnId>> find_cycles(const rtl::Netlist& n,
+                                                  std::size_t max_cycles = 1024);
+
+/// A witness that the graph contains an unbalanced reconvergent-fanout
+/// structure: two vertices with two paths of different sequential length.
+struct UrfsWitness {
+  rtl::BlockId from = rtl::kNoBlock;
+  rtl::BlockId to = rtl::kNoBlock;
+  int length_a = 0;
+  int length_b = 0;
+};
+
+/// Result of the balance check (requirements 1 and 2 of Definition 1: the
+/// subgraph is acyclic and all directed paths between every ordered vertex
+/// pair have equal sequential length — equivalently, acyclic and URFS-free).
+///
+/// Note this is deliberately *not* a global potential labeling: a kernel can
+/// be balanced even though different cones see different sequential lengths
+/// from the same register (the paper's Figure 17 kernel), which no single
+/// labeling can express.
+struct BalanceResult {
+  bool balanced = false;
+  bool acyclic = false;
+  /// When unbalanced due to an URFS: one witness pair.
+  std::optional<UrfsWitness> urfs;
+};
+
+BalanceResult check_balanced(const rtl::Netlist& n, const EdgeSet& removed = {});
+
+/// Unique sequential length (register-edge count) of directed paths from
+/// `from` to `to` in the subgraph without `removed` edges. Returns nullopt if
+/// `to` is unreachable; throws bibs::DesignError if paths of differing
+/// lengths exist (i.e. the pair witnesses an URFS).
+std::optional<int> path_sequential_length(const rtl::Netlist& n,
+                                          rtl::BlockId from, rtl::BlockId to,
+                                          const EdgeSet& removed = {});
+
+/// Finds one URFS witness in the subgraph without `removed` edges, or
+/// nullopt if none. Only meaningful on acyclic subgraphs.
+std::optional<UrfsWitness> find_urfs(const rtl::Netlist& n,
+                                     const EdgeSet& removed = {});
+
+/// Enumerates URFS witnesses, one per offending (from, to) pair, up to `max`.
+std::vector<UrfsWitness> find_all_urfs(const rtl::Netlist& n,
+                                       const EdgeSet& removed = {},
+                                       std::size_t max = 1024);
+
+/// Maximum number of register edges on any PI-to-PO path (the paper's d).
+/// Requires an acyclic graph; throws bibs::DesignError otherwise.
+int sequential_depth(const rtl::Netlist& n);
+
+/// Maximum number of `marked` edges on any PI-to-PO path: the paper's
+/// "maximal delay" metric when `marked` is the BILBO edge set (each BILBO
+/// register is modelled as adding one time unit of delay).
+/// Works on cyclic graphs too by bounding to simple paths.
+int max_marked_edges_on_path(const rtl::Netlist& n, const EdgeSet& marked);
+
+/// Topological order of all blocks ignoring `removed` edges; throws
+/// bibs::DesignError when cyclic.
+std::vector<rtl::BlockId> topological_order(const rtl::Netlist& n,
+                                            const EdgeSet& removed = {});
+
+}  // namespace bibs::graph

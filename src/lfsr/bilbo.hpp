@@ -1,0 +1,78 @@
+#pragma once
+// Behavioural models of BILBO [1] and CBILBO [7] registers.
+//
+// A BILBO register is an n-bit register with four operating modes. In a test
+// session it acts either as a TPG (autonomous type-1 LFSR) or as a SA (MISR)
+// but never both at once — the restriction that motivates condition 3 of the
+// balanced-BISTable definition. A CBILBO has two flip-flop ranks and can do
+// both simultaneously, at roughly twice the area cost.
+
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "lfsr/lfsr.hpp"
+#include "lfsr/misr.hpp"
+#include "lfsr/polynomial.hpp"
+
+namespace bibs::lfsr {
+
+enum class BilboMode {
+  kNormal,  ///< parallel load: register behaves as a plain D register
+  kScan,    ///< serial shift through the stages
+  kTpg,     ///< autonomous LFSR pattern generation
+  kSa,      ///< MISR response compaction
+};
+
+class Bilbo {
+ public:
+  /// n-bit BILBO; the characteristic polynomial is taken from the library
+  /// table for the given width.
+  explicit Bilbo(int width);
+  Bilbo(int width, Gf2Poly poly);
+
+  int width() const { return width_; }
+  BilboMode mode() const { return mode_; }
+  void set_mode(BilboMode m) { mode_ = m; }
+
+  const BitVec& state() const { return state_; }
+  void set_state(const BitVec& s);
+
+  /// One clock edge. `inputs` is the parallel data at the register's D pins
+  /// (used in kNormal and kSa); `scan_in` feeds kScan. Returns the serial
+  /// output (last stage before the clock).
+  bool step(const BitVec& inputs, bool scan_in = false);
+
+  /// Extra flip-flop-equivalent area relative to a plain register, used by
+  /// the cost reports (mux + XOR per stage, modelled as gate equivalents).
+  static double area_overhead_gate_equivalents(int width);
+
+ private:
+  int width_;
+  Gf2Poly poly_;
+  BilboMode mode_ = BilboMode::kNormal;
+  BitVec state_;
+};
+
+/// Concurrent BILBO: generates patterns and compacts responses in the same
+/// clock cycle using two flip-flop ranks.
+class Cbilbo {
+ public:
+  explicit Cbilbo(int width);
+
+  int width() const { return width_; }
+
+  const BitVec& tpg_state() const { return tpg_.state(); }
+  const BitVec& sa_state() const { return sa_.state(); }
+
+  /// Generates the next pattern and compacts `responses` simultaneously.
+  void step(const BitVec& responses);
+
+  static double area_overhead_gate_equivalents(int width);
+
+ private:
+  int width_;
+  Type1Lfsr tpg_;
+  Misr sa_;
+};
+
+}  // namespace bibs::lfsr

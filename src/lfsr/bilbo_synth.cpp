@@ -1,0 +1,83 @@
+#include "lfsr/bilbo_synth.hpp"
+
+#include "common/error.hpp"
+
+namespace bibs::lfsr {
+
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+SynthesizedBilbo synthesize_bilbo(int width) {
+  BIBS_ASSERT(width >= 2);
+  const Gf2Poly poly = primitive_polynomial(width);
+
+  SynthesizedBilbo out;
+  Netlist& nl = out.netlist;
+
+  for (int i = 0; i < width; ++i)
+    out.d.push_back(nl.add_input("d" + std::to_string(i)));
+  out.scan_in = nl.add_input("scan_in");
+  out.m0 = nl.add_input("m0");
+  out.m1 = nl.add_input("m1");
+
+  for (int i = 0; i < width; ++i)
+    out.q.push_back(nl.add_dff(gate::kNoNet, "q" + std::to_string(i)));
+
+  // Mode decode.
+  const NetId nm0 = nl.add_gate(GateType::kNot, {out.m0}, "nm0");
+  const NetId nm1 = nl.add_gate(GateType::kNot, {out.m1}, "nm1");
+  const NetId normal = nl.add_gate(GateType::kAnd, {nm1, nm0}, "mode_normal");
+  const NetId scan = nl.add_gate(GateType::kAnd, {nm1, out.m0}, "mode_scan");
+  const NetId tpg = nl.add_gate(GateType::kAnd, {out.m1, nm0}, "mode_tpg");
+  const NetId sa = nl.add_gate(GateType::kAnd, {out.m1, out.m0}, "mode_sa");
+
+  // Feedback network: XOR of tap stages (stage k tapped iff coeff x^(w-k)).
+  NetId fb = gate::kNoNet;
+  for (int k = 1; k <= width; ++k) {
+    if (!poly.coeff(width - k)) continue;
+    const NetId stage = out.q[static_cast<std::size_t>(k - 1)];
+    fb = (fb == gate::kNoNet)
+             ? stage
+             : nl.add_gate(GateType::kXor, {fb, stage}, "fb");
+  }
+  BIBS_ASSERT(fb != gate::kNoNet);
+
+  for (int i = 0; i < width; ++i) {
+    // Shift source: feedback / scan_in into stage 1, q[i-1] elsewhere.
+    const NetId prev =
+        i == 0 ? fb : out.q[static_cast<std::size_t>(i - 1)];
+    const NetId shift_src = i == 0
+                                ? nl.add_gate(GateType::kOr,
+                                              {nl.add_gate(GateType::kAnd,
+                                                           {scan, out.scan_in}),
+                                               nl.add_gate(GateType::kAnd,
+                                                           {tpg, fb}),
+                                               nl.add_gate(GateType::kAnd,
+                                                           {sa, fb})},
+                                              "src0")
+                                : nl.add_gate(
+                                      GateType::kAnd,
+                                      {nl.add_gate(GateType::kOr,
+                                                   {scan, tpg, sa}),
+                                       prev},
+                                      "src" + std::to_string(i));
+    const NetId di = out.d[static_cast<std::size_t>(i)];
+    // Data term: d in normal mode, d XORed in in SA mode.
+    const NetId data_normal = nl.add_gate(GateType::kAnd, {normal, di});
+    const NetId data_sa = nl.add_gate(GateType::kAnd, {sa, di});
+    // next = shift_src XOR data_sa, OR data_normal (modes are exclusive).
+    const NetId shifted = nl.add_gate(GateType::kXor, {shift_src, data_sa});
+    const NetId next = nl.add_gate(GateType::kOr, {shifted, data_normal},
+                                   "next" + std::to_string(i));
+    nl.set_dff_d(out.q[static_cast<std::size_t>(i)], next);
+  }
+
+  for (int i = 0; i < width; ++i)
+    nl.mark_output(out.q[static_cast<std::size_t>(i)],
+                   "q" + std::to_string(i));
+  nl.validate();
+  return out;
+}
+
+}  // namespace bibs::lfsr

@@ -1,0 +1,38 @@
+#pragma once
+// Gate-level synthesis of a BILBO register [1]: the mode-multiplexed
+// flip-flop slice the original BILBO paper draws, emitted as a gate::Netlist
+// and verified cycle-accurately against the behavioural lfsr::Bilbo model.
+//
+// Interface of the synthesized block:
+//   inputs : d[0..w-1] (parallel data), scan_in, m0, m1 (mode select)
+//   state  : w DFFs
+//   outputs: q[0..w-1]
+//
+// Mode encoding (m1 m0):
+//   00 kNormal  q <= d
+//   01 kScan    q <= {scan_in, q[0..w-2]}
+//   10 kTpg     q <= LFSR next state (d ignored)
+//   11 kSa      q <= MISR next state (compacts d)
+//
+// The TPG/SA sharing trick of the original BILBO (one XOR per stage serves
+// both modes) is reproduced: stage i's D is mux(d_i or 0) XOR (previous
+// stage or feedback), exactly the classic cell.
+
+#include "gate/netlist.hpp"
+#include "lfsr/polynomial.hpp"
+
+namespace bibs::lfsr {
+
+struct SynthesizedBilbo {
+  gate::Netlist netlist;
+  std::vector<gate::NetId> d;   ///< parallel data inputs
+  gate::NetId scan_in = gate::kNoNet;
+  gate::NetId m0 = gate::kNoNet;
+  gate::NetId m1 = gate::kNoNet;
+  std::vector<gate::NetId> q;   ///< DFF outputs (also marked as POs)
+};
+
+/// Synthesizes a width-bit BILBO with the table polynomial for that width.
+SynthesizedBilbo synthesize_bilbo(int width);
+
+}  // namespace bibs::lfsr

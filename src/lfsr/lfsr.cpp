@@ -1,0 +1,139 @@
+#include "lfsr/lfsr.hpp"
+
+#include "common/error.hpp"
+
+namespace bibs::lfsr {
+
+Type1Lfsr::Type1Lfsr(Gf2Poly poly) : poly_(poly), n_(poly.degree()) {
+  BIBS_ASSERT(n_ >= 1);
+  state_.resize(static_cast<std::size_t>(n_));
+  state_.set(static_cast<std::size_t>(n_ - 1), true);
+}
+
+void Type1Lfsr::set_state(const BitVec& s) {
+  BIBS_ASSERT(s.size() == static_cast<std::size_t>(n_));
+  state_ = s;
+}
+
+bool Type1Lfsr::feedback() const {
+  // With the recurrence a(t) = sum_k g_k a(t-k), g_k is the coefficient of
+  // x^(n-k) in the characteristic polynomial; stage k holds a(t-k+1), so the
+  // feedback XORs stage k whenever coeff(x^(n-k)) = 1.
+  bool fb = false;
+  for (int k = 1; k <= n_; ++k)
+    if (poly_.coeff(n_ - k) && stage(k)) fb = !fb;
+  return fb;
+}
+
+bool Type1Lfsr::step() {
+  const bool out = stage(n_);
+  const bool fb = feedback();
+  for (int i = n_ - 1; i >= 1; --i)
+    state_.set(static_cast<std::size_t>(i), stage(i));
+  state_.set(0, fb);
+  return out;
+}
+
+std::uint64_t Type1Lfsr::measure_period(std::uint64_t limit) const {
+  Type1Lfsr copy = *this;
+  const BitVec start = copy.state();
+  for (std::uint64_t i = 1; i <= limit; ++i) {
+    copy.step();
+    if (copy.state() == start) return i;
+  }
+  return 0;  // not periodic within limit
+}
+
+Type2Lfsr::Type2Lfsr(Gf2Poly poly) : poly_(poly), n_(poly.degree()) {
+  BIBS_ASSERT(n_ >= 1);
+  state_.resize(static_cast<std::size_t>(n_));
+  state_.set(static_cast<std::size_t>(n_ - 1), true);
+}
+
+void Type2Lfsr::set_state(const BitVec& s) {
+  BIBS_ASSERT(s.size() == static_cast<std::size_t>(n_));
+  state_ = s;
+}
+
+bool Type2Lfsr::step() {
+  // Galois form, standard orientation: the bit leaving stage 1 is folded
+  // into stage k for every term x^k of the polynomial (the implicit x^n term
+  // reinserts it at the top). Period 2^n - 1 for a primitive polynomial.
+  const bool out = stage(1);
+  BitVec next(static_cast<std::size_t>(n_));
+  for (int i = 1; i <= n_ - 1; ++i)
+    next.set(static_cast<std::size_t>(i - 1), stage(i + 1));
+  if (out) {
+    for (int k = 1; k <= n_; ++k)
+      if (poly_.coeff(k))
+        next.set(static_cast<std::size_t>(k - 1),
+                 !next.get(static_cast<std::size_t>(k - 1)));
+  }
+  state_ = next;
+  return out;
+}
+
+std::uint64_t Type2Lfsr::measure_period(std::uint64_t limit) const {
+  Type2Lfsr copy = *this;
+  const BitVec start = copy.state();
+  for (std::uint64_t i = 1; i <= limit; ++i) {
+    copy.step();
+    if (copy.state() == start) return i;
+  }
+  return 0;
+}
+
+CompleteLfsr::CompleteLfsr(Gf2Poly poly) : lfsr_(poly) {}
+
+bool CompleteLfsr::step() {
+  // De Bruijn modification: the feedback is inverted exactly when stages
+  // 1..n-1 are all 0, splicing the all-0 state into the orbit between the
+  // states 0...01 and 10...0.
+  const int n = lfsr_.stages();
+  bool zeros = true;
+  for (int i = 1; i <= n - 1; ++i)
+    if (lfsr_.stage(i)) {
+      zeros = false;
+      break;
+    }
+  const bool out = lfsr_.stage(n);
+  BitVec s = lfsr_.state();
+  lfsr_.step();
+  if (zeros) {
+    BitVec t = lfsr_.state();
+    t.set(0, !t.get(0));
+    lfsr_.set_state(t);
+  }
+  (void)s;
+  return out;
+}
+
+std::uint64_t CompleteLfsr::measure_period(std::uint64_t limit) const {
+  CompleteLfsr copy = *this;
+  const BitVec start = copy.state();
+  for (std::uint64_t i = 1; i <= limit; ++i) {
+    copy.step();
+    if (copy.state() == start) return i;
+  }
+  return 0;
+}
+
+ShiftRegister::ShiftRegister(int n) : n_(n) {
+  BIBS_ASSERT(n >= 1);
+  state_.resize(static_cast<std::size_t>(n));
+}
+
+void ShiftRegister::set_state(const BitVec& s) {
+  BIBS_ASSERT(s.size() == static_cast<std::size_t>(n_));
+  state_ = s;
+}
+
+bool ShiftRegister::step(bool in) {
+  const bool out = stage(n_);
+  for (int i = n_ - 1; i >= 1; --i)
+    state_.set(static_cast<std::size_t>(i), stage(i));
+  state_.set(0, in);
+  return out;
+}
+
+}  // namespace bibs::lfsr

@@ -1,0 +1,114 @@
+#pragma once
+// Type-1 (external-XOR / Fibonacci) linear feedback shift registers, complete
+// (de Bruijn) LFSRs and plain shift registers.
+//
+// Stage numbering follows the paper: stage 1 is the first (most significant)
+// stage and receives the feedback; stage i (i > 1) is fed by stage i-1. The
+// defining type-1 property — stage i at time t equals stage i-1 at time t-1 —
+// is what makes the SC_TPG/MC_TPG constructions work and is property-tested.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "lfsr/polynomial.hpp"
+
+namespace bibs::lfsr {
+
+class Type1Lfsr {
+ public:
+  /// Builds an n-stage LFSR with characteristic polynomial `poly`
+  /// (degree n). Initial state is 00...01 (only the last stage set),
+  /// which is nonzero and therefore on the maximal-length orbit.
+  explicit Type1Lfsr(Gf2Poly poly);
+
+  int stages() const { return n_; }
+  const Gf2Poly& polynomial() const { return poly_; }
+
+  /// Current stage values; index 0 is stage 1.
+  const BitVec& state() const { return state_; }
+  void set_state(const BitVec& s);
+
+  bool stage(int i) const { return state_.get(static_cast<std::size_t>(i - 1)); }
+
+  /// Advances one clock. Returns the bit shifted out of the last stage.
+  bool step();
+
+  /// Period of the state orbit starting from the current state
+  /// (2^n - 1 for a primitive polynomial and nonzero state).
+  std::uint64_t measure_period(std::uint64_t limit) const;
+
+ private:
+  bool feedback() const;
+
+  Gf2Poly poly_;
+  int n_;
+  BitVec state_;
+};
+
+/// Type-2 (internal-XOR / Galois) LFSR: the dual construction, with XORs
+/// between stages instead of one external feedback network. Same maximal
+/// period for the same primitive polynomial; included because BILBO
+/// implementations and MISRs are usually drawn in this form. Note it does
+/// NOT satisfy the type-1 shift property the TPG constructions need.
+class Type2Lfsr {
+ public:
+  explicit Type2Lfsr(Gf2Poly poly);
+
+  int stages() const { return n_; }
+  const Gf2Poly& polynomial() const { return poly_; }
+  const BitVec& state() const { return state_; }
+  void set_state(const BitVec& s);
+  bool stage(int i) const { return state_.get(static_cast<std::size_t>(i - 1)); }
+
+  /// Advances one clock. Returns the bit shifted out of the last stage.
+  bool step();
+
+  std::uint64_t measure_period(std::uint64_t limit) const;
+
+ private:
+  Gf2Poly poly_;
+  int n_;
+  BitVec state_;
+};
+
+/// Complete feedback shift register (Wang & McCluskey [15]): a type-1 LFSR
+/// modified with one NOR gate so the all-0 state is inserted into the orbit,
+/// giving period exactly 2^n. Used when the all-0 test pattern is required.
+class CompleteLfsr {
+ public:
+  explicit CompleteLfsr(Gf2Poly poly);
+
+  int stages() const { return lfsr_.stages(); }
+  const BitVec& state() const { return lfsr_.state(); }
+  void set_state(const BitVec& s) { lfsr_.set_state(s); }
+  bool stage(int i) const { return lfsr_.stage(i); }
+
+  bool step();
+
+  std::uint64_t measure_period(std::uint64_t limit) const;
+
+ private:
+  Type1Lfsr lfsr_;
+};
+
+/// Plain serial shift register of n stages; step() shifts `in` into stage 1
+/// and returns the bit leaving the last stage. The extra D flip-flops the TPG
+/// procedures add in front of registers behave exactly like this.
+class ShiftRegister {
+ public:
+  explicit ShiftRegister(int n);
+
+  int stages() const { return n_; }
+  const BitVec& state() const { return state_; }
+  void set_state(const BitVec& s);
+  bool stage(int i) const { return state_.get(static_cast<std::size_t>(i - 1)); }
+
+  bool step(bool in);
+
+ private:
+  int n_;
+  BitVec state_;
+};
+
+}  // namespace bibs::lfsr

@@ -1,0 +1,37 @@
+#include "lfsr/misr.hpp"
+
+#include "common/error.hpp"
+
+namespace bibs::lfsr {
+
+Misr::Misr(Gf2Poly poly) : poly_(poly), n_(poly.degree()) {
+  BIBS_ASSERT(n_ >= 1);
+  state_.resize(static_cast<std::size_t>(n_));
+}
+
+void Misr::set_state(const BitVec& s) {
+  BIBS_ASSERT(s.size() == static_cast<std::size_t>(n_));
+  state_ = s;
+}
+
+void Misr::step(const BitVec& inputs) {
+  BIBS_ASSERT(inputs.size() == static_cast<std::size_t>(n_));
+  bool fb = false;
+  for (int k = 1; k <= n_; ++k)
+    if (poly_.coeff(n_ - k) && state_.get(static_cast<std::size_t>(k - 1)))
+      fb = !fb;
+  BitVec next(static_cast<std::size_t>(n_));
+  next.set(0, fb ^ inputs.get(0));
+  for (int i = 2; i <= n_; ++i)
+    next.set(static_cast<std::size_t>(i - 1),
+             state_.get(static_cast<std::size_t>(i - 2)) ^
+                 inputs.get(static_cast<std::size_t>(i - 1)));
+  state_ = next;
+}
+
+std::uint64_t Misr::signature() const {
+  BIBS_ASSERT(n_ <= 64);
+  return state_.extract(0, static_cast<std::size_t>(n_));
+}
+
+}  // namespace bibs::lfsr

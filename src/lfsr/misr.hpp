@@ -1,0 +1,35 @@
+#pragma once
+// Multiple-input signature register: the signature-analysis half of a BILBO.
+
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "lfsr/polynomial.hpp"
+
+namespace bibs::lfsr {
+
+/// An n-stage MISR built on the same type-1 feedback structure as Type1Lfsr;
+/// every clock the response vector is XORed stage-wise into the shifting
+/// state. After the test the state is the signature.
+class Misr {
+ public:
+  explicit Misr(Gf2Poly poly);
+
+  int stages() const { return n_; }
+  const BitVec& state() const { return state_; }
+  void set_state(const BitVec& s);
+  void reset() { state_.clear(); }
+
+  /// Compresses one parallel response word (`inputs.size() == stages()`).
+  void step(const BitVec& inputs);
+
+  /// Signature as an integer (stage 1 = LSB); only valid for n <= 64.
+  std::uint64_t signature() const;
+
+ private:
+  Gf2Poly poly_;
+  int n_;
+  BitVec state_;
+};
+
+}  // namespace bibs::lfsr

@@ -1,0 +1,199 @@
+#include "lfsr/polynomial.hpp"
+
+#include <array>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace bibs::lfsr {
+
+Gf2Poly::Gf2Poly(std::uint64_t mask) {
+  if (mask == 0) return;
+  degree_ = 63 - std::countl_zero(mask);
+  low_ = mask & ~(1ull << degree_);
+}
+
+Gf2Poly Gf2Poly::from_exponents(const std::vector<int>& exps) {
+  BIBS_ASSERT(!exps.empty());
+  Gf2Poly p;
+  for (int e : exps) {
+    BIBS_ASSERT(e >= 0 && e <= 64);
+    p.degree_ = std::max(p.degree_, e);
+  }
+  for (int e : exps) {
+    if (e == p.degree_) continue;
+    BIBS_ASSERT(e < 64);
+    p.low_ |= 1ull << e;
+  }
+  return p;
+}
+
+std::uint64_t Gf2Poly::mask() const {
+  if (degree_ < 0) return 0;
+  BIBS_ASSERT(degree_ <= 63);
+  return low_ | (1ull << degree_);
+}
+
+std::string Gf2Poly::to_string() const {
+  if (degree_ < 0) return "0";
+  std::string s;
+  for (int e = degree_; e >= 0; --e) {
+    if (!coeff(e)) continue;
+    if (!s.empty()) s += " + ";
+    if (e == 0)
+      s += "1";
+    else if (e == 1)
+      s += "x";
+    else
+      s += "x^" + std::to_string(e);
+  }
+  return s;
+}
+
+Gf2Poly mulmod(Gf2Poly a, Gf2Poly b, Gf2Poly p) {
+  const int deg = p.degree();
+  BIBS_ASSERT(deg >= 1 && deg <= 64);
+  const std::uint64_t modmask = (deg >= 64) ? ~0ull : (1ull << deg) - 1;
+  std::uint64_t am = a.mask();
+  std::uint64_t bm = b.mask();
+  BIBS_ASSERT((am & ~modmask) == 0 && (bm & ~modmask) == 0);
+  std::uint64_t r = 0;
+  while (bm) {
+    if (bm & 1u) r ^= am;
+    bm >>= 1;
+    // Multiply am by x, reducing via x^deg == p.low_mask() (mod p).
+    const bool top = (am >> (deg - 1)) & 1u;
+    am = (am << 1) & modmask;
+    if (top) am ^= p.low_mask();
+  }
+  return Gf2Poly(r);
+}
+
+namespace {
+
+/// Reduces a (degree <= 63) modulo p.
+Gf2Poly reduce(Gf2Poly a, Gf2Poly p) {
+  while (a.degree() >= p.degree()) {
+    std::uint64_t am = a.mask();
+    const int shift = a.degree() - p.degree();
+    am ^= p.low_mask() << shift;
+    if (p.degree() + shift <= 63) am ^= 1ull << (p.degree() + shift);
+    a = Gf2Poly(am);
+  }
+  return a;
+}
+
+}  // namespace
+
+Gf2Poly powmod(Gf2Poly a, std::uint64_t e, Gf2Poly p) {
+  a = reduce(a, p);
+  Gf2Poly r = reduce(Gf2Poly(1), p);
+  while (e) {
+    if (e & 1u) r = mulmod(r, a, p);
+    a = mulmod(a, a, p);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_primitive_bruteforce(Gf2Poly p) {
+  const int deg = p.degree();
+  if (deg < 1 || deg > 62) return false;
+  if (deg == 1) return p.low_mask() == 1;  // x + 1
+  const std::uint64_t full = (1ull << deg) - 1;
+  Gf2Poly cur(1);
+  const Gf2Poly x(2);
+  for (std::uint64_t i = 1; i <= full; ++i) {
+    cur = mulmod(cur, x, p);
+    if (cur.mask() == 1) return i == full;
+  }
+  return false;
+}
+
+namespace {
+// Exponent lists for one primitive polynomial per degree. Degree 12 is the
+// paper's choice (Figures 13 and 15); degrees up to 32 follow standard
+// textbook tables, degrees 33-64 the standard maximal-LFSR tap tables.
+// Every entry is verified primitive (exhaustively for small degrees and via
+// the prime factorization of 2^n - 1 for the rest) in tests/lfsr_test.cpp.
+constexpr int kMaxDegree = 64;
+const std::array<std::vector<int>, kMaxDegree + 1> kTable = {{
+    {},                  // degree 0: unused
+    {1, 0},              // x + 1
+    {2, 1, 0},           // x^2 + x + 1
+    {3, 1, 0},           // x^3 + x + 1
+    {4, 1, 0},           // x^4 + x + 1
+    {5, 2, 0},           // x^5 + x^2 + 1
+    {6, 1, 0},           // x^6 + x + 1
+    {7, 1, 0},           // x^7 + x + 1
+    {8, 4, 3, 2, 0},     // x^8 + x^4 + x^3 + x^2 + 1
+    {9, 4, 0},           // x^9 + x^4 + 1
+    {10, 3, 0},          // x^10 + x^3 + 1
+    {11, 2, 0},          // x^11 + x^2 + 1
+    {12, 7, 4, 3, 0},    // the paper's x^12 + x^7 + x^4 + x^3 + 1
+    {13, 4, 3, 1, 0},    // x^13 + x^4 + x^3 + x + 1
+    {14, 10, 6, 1, 0},   // x^14 + x^10 + x^6 + x + 1
+    {15, 1, 0},          // x^15 + x + 1
+    {16, 12, 3, 1, 0},   // x^16 + x^12 + x^3 + x + 1
+    {17, 3, 0},          // x^17 + x^3 + 1
+    {18, 7, 0},          // x^18 + x^7 + 1
+    {19, 5, 2, 1, 0},    // x^19 + x^5 + x^2 + x + 1
+    {20, 3, 0},          // x^20 + x^3 + 1
+    {21, 2, 0},          // x^21 + x^2 + 1
+    {22, 1, 0},          // x^22 + x + 1
+    {23, 5, 0},          // x^23 + x^5 + 1
+    {24, 7, 2, 1, 0},    // x^24 + x^7 + x^2 + x + 1
+    {25, 3, 0},          // x^25 + x^3 + 1
+    {26, 6, 2, 1, 0},    // x^26 + x^6 + x^2 + x + 1
+    {27, 5, 2, 1, 0},    // x^27 + x^5 + x^2 + x + 1
+    {28, 3, 0},          // x^28 + x^3 + 1
+    {29, 2, 0},          // x^29 + x^2 + 1
+    {30, 23, 2, 1, 0},   // x^30 + x^23 + x^2 + x + 1
+    {31, 3, 0},          // x^31 + x^3 + 1
+    {32, 22, 2, 1, 0},   // x^32 + x^22 + x^2 + x + 1
+    {33, 20, 0},         // x^33 + x^20 + 1
+    {34, 27, 2, 1, 0},
+    {35, 33, 0},
+    {36, 25, 0},
+    {37, 36, 33, 31, 0},
+    {38, 6, 5, 1, 0},
+    {39, 35, 0},
+    {40, 38, 21, 19, 0},
+    {41, 38, 0},
+    {42, 41, 20, 19, 0},
+    {43, 42, 38, 37, 0},
+    {44, 43, 18, 17, 0},
+    {45, 44, 42, 41, 0},
+    {46, 45, 26, 25, 0},
+    {47, 42, 0},
+    {48, 47, 21, 20, 0},
+    {49, 40, 0},
+    {50, 49, 24, 23, 0},
+    {51, 50, 36, 35, 0},
+    {52, 49, 0},
+    {53, 52, 38, 37, 0},
+    {54, 53, 18, 17, 0},
+    {55, 31, 0},
+    {56, 55, 35, 34, 0},
+    {57, 50, 0},
+    {58, 39, 0},
+    {59, 58, 38, 37, 0},
+    {60, 59, 0},
+    {61, 60, 46, 45, 0},
+    {62, 61, 6, 5, 0},
+    {63, 62, 0},
+    {64, 63, 61, 60, 0},
+}};
+}  // namespace
+
+Gf2Poly primitive_polynomial(int degree) {
+  if (degree < 1 || degree > kMaxDegree)
+    throw DesignError("no primitive polynomial of degree " +
+                      std::to_string(degree) + " in table (supported: 1..." +
+                      std::to_string(kMaxDegree) + ")");
+  return Gf2Poly::from_exponents(kTable[static_cast<std::size_t>(degree)]);
+}
+
+int max_supported_degree() { return kMaxDegree; }
+
+}  // namespace bibs::lfsr

@@ -1,0 +1,71 @@
+#pragma once
+// GF(2) polynomial arithmetic and the primitive-polynomial table that backs
+// every TPG in the library.
+//
+// Representation: (degree, low mask). low bit e holds the coefficient of x^e
+// for e < degree; the leading coefficient is implicit. This supports moduli
+// up to degree 64 — needed because a BIBS kernel concatenating eight 8-bit
+// registers uses a 64-stage LFSR — while residues (degree <= 63) still fit a
+// plain 64-bit mask.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bibs::lfsr {
+
+class Gf2Poly {
+ public:
+  Gf2Poly() = default;
+  /// Constructs from a full coefficient mask (degree <= 63),
+  /// e.g. (1<<12)|(1<<7)|(1<<4)|(1<<3)|1.
+  explicit Gf2Poly(std::uint64_t mask);
+  /// Constructs from a list of exponents, e.g. {12, 7, 4, 3, 0}. The largest
+  /// exponent may be 64; all others must be below 64.
+  static Gf2Poly from_exponents(const std::vector<int>& exps);
+
+  int degree() const { return degree_; }
+  bool coeff(int e) const {
+    if (e == degree_) return degree_ >= 0;
+    return e >= 0 && e < 64 && ((low_ >> e) & 1u);
+  }
+  bool is_zero() const { return degree_ < 0; }
+
+  /// Full coefficient mask; only valid for degree <= 63.
+  std::uint64_t mask() const;
+  /// Coefficients below the leading term (valid for any degree <= 64).
+  std::uint64_t low_mask() const { return low_; }
+
+  bool operator==(const Gf2Poly& o) const = default;
+
+  /// Human-readable form, e.g. "x^12 + x^7 + x^4 + x^3 + 1".
+  std::string to_string() const;
+
+ private:
+  int degree_ = -1;
+  std::uint64_t low_ = 0;
+};
+
+/// (a * b) mod p over GF(2). deg(p) in [1, 64]; operands must be reduced
+/// (degree < deg(p)).
+Gf2Poly mulmod(Gf2Poly a, Gf2Poly b, Gf2Poly p);
+
+/// (a ^ e) mod p over GF(2).
+Gf2Poly powmod(Gf2Poly a, std::uint64_t e, Gf2Poly p);
+
+/// Exhaustive order-of-x test; practical for degree <= 24 or so.
+/// Returns true iff x generates the full multiplicative group mod p,
+/// i.e. p is primitive.
+bool is_primitive_bruteforce(Gf2Poly p);
+
+/// Returns the library's chosen primitive polynomial of the given degree
+/// (1 <= degree <= 64). Degree 12 is the paper's x^12 + x^7 + x^4 + x^3 + 1;
+/// degrees 33-64 follow the standard maximal-LFSR tap tables, each verified
+/// primitive against the factorization of 2^n - 1.
+/// Throws bibs::DesignError for unsupported degrees.
+Gf2Poly primitive_polynomial(int degree);
+
+/// Largest degree primitive_polynomial() supports.
+int max_supported_degree();
+
+}  // namespace bibs::lfsr

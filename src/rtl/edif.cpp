@@ -1,0 +1,85 @@
+#include "rtl/edif.hpp"
+
+#include <sstream>
+
+#include "rtl/sexpr.hpp"
+
+namespace bibs::rtl {
+
+Netlist parse_edif(const std::string& text) {
+  const Sexpr root = parse_sexpr(text);
+  if (root.head() != "circuit")
+    throw ParseError("edif: top-level form must be (circuit ...)");
+  if (root.size() < 2)
+    throw ParseError("edif: (circuit ...) needs a name");
+  Netlist n(root.atom_at(1));
+
+  auto require_block = [&](const std::string& name) {
+    const BlockId id = n.find_block(name);
+    if (id == kNoBlock)
+      throw ParseError("edif: unknown block '" + name + "'");
+    return id;
+  };
+
+  for (std::size_t i = 2; i < root.size(); ++i) {
+    const Sexpr& f = root.at(i);
+    const std::string& kw = f.head();
+    if (kw == "input") {
+      n.add_input(f.atom_at(1), f.int_at(2));
+    } else if (kw == "output") {
+      n.add_output(f.atom_at(1), f.int_at(2));
+    } else if (kw == "comb") {
+      n.add_comb(f.atom_at(1), f.atom_at(2), f.int_at(3));
+    } else if (kw == "fanout") {
+      n.add_fanout(f.atom_at(1), f.int_at(2));
+    } else if (kw == "vacuous") {
+      n.add_vacuous(f.atom_at(1), f.int_at(2));
+    } else if (kw == "reg") {
+      n.connect_reg(require_block(f.atom_at(1)), require_block(f.atom_at(2)),
+                    f.atom_at(3), f.int_at(4));
+    } else if (kw == "wire") {
+      n.connect_wire(require_block(f.atom_at(1)), require_block(f.atom_at(2)),
+                     f.int_at(3));
+    } else {
+      throw ParseError("edif: unknown form '" + kw + "'");
+    }
+  }
+  n.validate();
+  return n;
+}
+
+std::string to_edif(const Netlist& n) {
+  std::ostringstream os;
+  os << "(circuit " << n.name() << "\n";
+  for (const Block& b : n.blocks()) {
+    switch (b.kind) {
+      case BlockKind::kInput:
+        os << "  (input " << b.name << ' ' << b.width << ")\n";
+        break;
+      case BlockKind::kOutput:
+        os << "  (output " << b.name << ' ' << b.width << ")\n";
+        break;
+      case BlockKind::kComb:
+        os << "  (comb " << b.name << ' ' << b.op << ' ' << b.width << ")\n";
+        break;
+      case BlockKind::kFanout:
+        os << "  (fanout " << b.name << ' ' << b.width << ")\n";
+        break;
+      case BlockKind::kVacuous:
+        os << "  (vacuous " << b.name << ' ' << b.width << ")\n";
+        break;
+    }
+  }
+  for (const Connection& c : n.connections()) {
+    if (c.is_register())
+      os << "  (reg " << n.block(c.from).name << ' ' << n.block(c.to).name
+         << ' ' << c.reg->name << ' ' << c.width << ")\n";
+    else
+      os << "  (wire " << n.block(c.from).name << ' ' << n.block(c.to).name
+         << ' ' << c.width << ")\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace bibs::rtl

@@ -1,0 +1,28 @@
+#pragma once
+// EDIF-style S-expression circuit format. The paper's BITS system imported
+// and exported circuits as EDIF; this is the equivalent structured format
+// for this library's RTL model (documented in docs/netlist_format.md):
+//
+//   (circuit c5a2m
+//     (input a 8)
+//     (output o 8)
+//     (comb A1 add 8)
+//     (fanout F1 8)
+//     (vacuous V1 8)
+//     (reg a A1 a_r 8)      ; register edge: from to name width
+//     (wire F1 A1 8))       ; wire edge: from to width
+//
+// Connection order defines the input-port order, exactly as in the line
+// format (rtl::parse_netlist).
+
+#include "rtl/netlist.hpp"
+
+namespace bibs::rtl {
+
+/// Parses the EDIF-style form. Throws bibs::ParseError on malformed input.
+Netlist parse_edif(const std::string& text);
+
+/// Pretty-printed EDIF-style form; parse_edif(to_edif(n)) round-trips.
+std::string to_edif(const Netlist& n);
+
+}  // namespace bibs::rtl

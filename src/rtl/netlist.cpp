@@ -1,0 +1,210 @@
+#include "rtl/netlist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bibs::rtl {
+
+const char* to_string(BlockKind k) {
+  switch (k) {
+    case BlockKind::kComb: return "comb";
+    case BlockKind::kFanout: return "fanout";
+    case BlockKind::kVacuous: return "vacuous";
+    case BlockKind::kInput: return "input";
+    case BlockKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+BlockId Netlist::add_block(BlockKind kind, const std::string& name,
+                           const std::string& op, int width) {
+  if (width <= 0) throw ParseError("block '" + name + "' has width <= 0");
+  if (find_block(name) != kNoBlock)
+    throw ParseError("duplicate block name '" + name + "'");
+  const BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(Block{id, kind, name, op, width});
+  fanin_.emplace_back();
+  fanout_.emplace_back();
+  return id;
+}
+
+BlockId Netlist::add_input(const std::string& name, int width) {
+  return add_block(BlockKind::kInput, name, {}, width);
+}
+BlockId Netlist::add_output(const std::string& name, int width) {
+  return add_block(BlockKind::kOutput, name, {}, width);
+}
+BlockId Netlist::add_comb(const std::string& name, const std::string& op,
+                          int width) {
+  return add_block(BlockKind::kComb, name, op, width);
+}
+BlockId Netlist::add_fanout(const std::string& name, int width) {
+  return add_block(BlockKind::kFanout, name, {}, width);
+}
+BlockId Netlist::add_vacuous(const std::string& name, int width) {
+  return add_block(BlockKind::kVacuous, name, {}, width);
+}
+
+ConnId Netlist::connect_wire(BlockId from, BlockId to, int width) {
+  BIBS_ASSERT(from >= 0 && from < static_cast<BlockId>(blocks_.size()));
+  BIBS_ASSERT(to >= 0 && to < static_cast<BlockId>(blocks_.size()));
+  const ConnId id = static_cast<ConnId>(conns_.size());
+  conns_.push_back(Connection{id, from, to, width, std::nullopt});
+  fanout_[static_cast<std::size_t>(from)].push_back(id);
+  fanin_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+ConnId Netlist::connect_reg(BlockId from, BlockId to,
+                            const std::string& reg_name, int width) {
+  if (find_register(reg_name) != -1)
+    throw ParseError("duplicate register name '" + reg_name + "'");
+  const ConnId id = connect_wire(from, to, width);
+  conns_[static_cast<std::size_t>(id)].reg = Register{reg_name, width};
+  return id;
+}
+
+const Block& Netlist::block(BlockId id) const {
+  BIBS_ASSERT(id >= 0 && id < static_cast<BlockId>(blocks_.size()));
+  return blocks_[static_cast<std::size_t>(id)];
+}
+
+const Connection& Netlist::connection(ConnId id) const {
+  BIBS_ASSERT(id >= 0 && id < static_cast<ConnId>(conns_.size()));
+  return conns_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<ConnId>& Netlist::fanin(BlockId id) const {
+  BIBS_ASSERT(id >= 0 && id < static_cast<BlockId>(blocks_.size()));
+  return fanin_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<ConnId>& Netlist::fanout(BlockId id) const {
+  BIBS_ASSERT(id >= 0 && id < static_cast<BlockId>(blocks_.size()));
+  return fanout_[static_cast<std::size_t>(id)];
+}
+
+BlockId Netlist::find_block(const std::string& name) const {
+  for (const Block& b : blocks_)
+    if (b.name == name) return b.id;
+  return kNoBlock;
+}
+
+ConnId Netlist::find_register(const std::string& name) const {
+  for (const Connection& c : conns_)
+    if (c.reg && c.reg->name == name) return c.id;
+  return -1;
+}
+
+std::vector<BlockId> Netlist::inputs() const {
+  std::vector<BlockId> out;
+  for (const Block& b : blocks_)
+    if (b.kind == BlockKind::kInput) out.push_back(b.id);
+  return out;
+}
+
+std::vector<BlockId> Netlist::outputs() const {
+  std::vector<BlockId> out;
+  for (const Block& b : blocks_)
+    if (b.kind == BlockKind::kOutput) out.push_back(b.id);
+  return out;
+}
+
+std::vector<ConnId> Netlist::register_edges() const {
+  std::vector<ConnId> out;
+  for (const Connection& c : conns_)
+    if (c.is_register()) out.push_back(c.id);
+  return out;
+}
+
+int Netlist::total_register_bits() const {
+  int bits = 0;
+  for (const Connection& c : conns_)
+    if (c.is_register()) bits += c.reg->width;
+  return bits;
+}
+
+void Netlist::insert_register_on_wire(ConnId id, const std::string& reg_name) {
+  Connection& c = conns_[static_cast<std::size_t>(id)];
+  BIBS_ASSERT(!c.is_register());
+  if (find_register(reg_name) != -1)
+    throw ParseError("duplicate register name '" + reg_name + "'");
+  c.reg = Register{reg_name, c.width};
+}
+
+void Netlist::validate() const {
+  for (const Block& b : blocks_) {
+    const auto& in = fanin_[static_cast<std::size_t>(b.id)];
+    const auto& out = fanout_[static_cast<std::size_t>(b.id)];
+    auto fail = [&](const std::string& why) {
+      throw ParseError("block '" + b.name + "': " + why);
+    };
+    switch (b.kind) {
+      case BlockKind::kInput:
+        if (!in.empty()) fail("primary input has fan-in");
+        if (out.empty()) fail("primary input drives nothing");
+        break;
+      case BlockKind::kOutput:
+        if (in.size() != 1) fail("primary output must have exactly one fan-in");
+        if (!out.empty()) fail("primary output has fan-out");
+        break;
+      case BlockKind::kFanout:
+        if (in.size() != 1) fail("fanout block must have exactly one fan-in");
+        if (out.size() < 2) fail("fanout block must have at least two fan-outs");
+        for (ConnId c : out)
+          if (connection(c).width != b.width)
+            fail("fanout width mismatch on an out-edge");
+        if (connection(in[0]).width != b.width) fail("fanout width mismatch");
+        break;
+      case BlockKind::kVacuous:
+        if (in.size() != 1 || out.size() != 1)
+          fail("vacuous block must have exactly one fan-in and one fan-out");
+        if (connection(in[0]).width != b.width ||
+            connection(out[0]).width != b.width)
+          fail("vacuous width mismatch");
+        break;
+      case BlockKind::kComb:
+        if (in.empty()) fail("combinational block has no fan-in");
+        if (out.empty()) fail("combinational block drives nothing");
+        for (ConnId c : out)
+          if (connection(c).width != b.width)
+            fail("output width mismatch on an out-edge");
+        break;
+    }
+  }
+
+  // Combinational-cycle check: a cycle using wire edges only would make the
+  // circuit asynchronous; the paper disallows it outright.
+  const std::size_t n = blocks_.size();
+  std::vector<int> color(n, 0);  // 0 = white, 1 = on stack, 2 = done
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (vertex, next edge)
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back().first;
+      const std::size_t idx = stack.back().second;
+      const auto& outs = fanout_[v];
+      if (idx >= outs.size()) {
+        color[v] = 2;
+        stack.pop_back();
+        continue;
+      }
+      stack.back().second = idx + 1;
+      const Connection& c = connection(outs[idx]);
+      if (c.is_register()) continue;  // register edges break comb paths
+      const std::size_t t = static_cast<std::size_t>(c.to);
+      if (color[t] == 1)
+        throw ParseError("combinational cycle through block '" +
+                         block(c.to).name + "'");
+      if (color[t] == 0) {
+        color[t] = 1;
+        stack.emplace_back(t, 0);
+      }
+    }
+  }
+}
+
+}  // namespace bibs::rtl

@@ -1,0 +1,139 @@
+#pragma once
+// Register-transfer-level circuit model: the direct encoding of the paper's
+// circuit graph G = (V, E, w) from Section 3.1.
+//
+// Vertices (blocks) are combinational logic blocks, primary inputs/outputs,
+// fanout blocks and vacuous blocks. Edges (connections) either pass through a
+// register ("register edge", weight = register width) or are plain wires
+// ("wire edge", weight = infinity in the paper; we simply tag the kind).
+//
+// Port convention: the fan-in connection order of a block defines its input
+// port order (operand order for elaboration), and the fan-out connection
+// order defines its output port order.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bibs::rtl {
+
+using BlockId = std::int32_t;
+using ConnId = std::int32_t;
+inline constexpr BlockId kNoBlock = -1;
+
+enum class BlockKind {
+  kComb,     ///< combinational logic block
+  kFanout,   ///< transfers its single input to all outputs unaltered
+  kVacuous,  ///< wire-only block between two registers
+  kInput,    ///< primary input
+  kOutput,   ///< primary output
+};
+
+const char* to_string(BlockKind k);
+
+struct Block {
+  BlockId id = kNoBlock;
+  BlockKind kind = BlockKind::kComb;
+  std::string name;
+  /// Operation tag used by gate-level elaboration for kComb blocks
+  /// ("add", "mul", "and", "or", "xor", "not", "passthrough", ...).
+  std::string op;
+  /// Output bus width in bits.
+  int width = 0;
+};
+
+struct Register {
+  std::string name;
+  int width = 0;
+};
+
+struct Connection {
+  ConnId id = -1;
+  BlockId from = kNoBlock;
+  BlockId to = kNoBlock;
+  /// Bus width carried by this connection.
+  int width = 0;
+  /// Present iff this is a register edge.
+  std::optional<Register> reg;
+
+  bool is_register() const { return reg.has_value(); }
+};
+
+/// A mutable RTL netlist. Construction is incremental (add blocks, then
+/// connect them); validate() checks the global structural rules once the
+/// circuit is complete.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "circuit") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  BlockId add_input(const std::string& name, int width);
+  BlockId add_output(const std::string& name, int width);
+  BlockId add_comb(const std::string& name, const std::string& op, int width);
+  BlockId add_fanout(const std::string& name, int width);
+  BlockId add_vacuous(const std::string& name, int width);
+
+  ConnId connect_wire(BlockId from, BlockId to, int width);
+  ConnId connect_reg(BlockId from, BlockId to, const std::string& reg_name,
+                     int width);
+
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t connection_count() const { return conns_.size(); }
+
+  const Block& block(BlockId id) const;
+  const Connection& connection(ConnId id) const;
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<Connection>& connections() const { return conns_; }
+
+  /// Fan-in connections of a block in input-port order.
+  const std::vector<ConnId>& fanin(BlockId id) const;
+  /// Fan-out connections of a block in output-port order.
+  const std::vector<ConnId>& fanout(BlockId id) const;
+
+  /// Block lookup by name; returns kNoBlock when absent.
+  BlockId find_block(const std::string& name) const;
+  /// Register-edge lookup by register name; returns -1 when absent.
+  ConnId find_register(const std::string& name) const;
+
+  std::vector<BlockId> inputs() const;
+  std::vector<BlockId> outputs() const;
+
+  /// All register edges.
+  std::vector<ConnId> register_edges() const;
+  /// Total flip-flop count over all registers.
+  int total_register_bits() const;
+
+  /// Replaces the wire edge `id` with a register edge (register insertion,
+  /// used when a PI drives logic directly and a BIST register must be added).
+  void insert_register_on_wire(ConnId id, const std::string& reg_name);
+
+  /// Structural checks: kind-specific port arities, width consistency,
+  /// unique names, and absence of combinational cycles (a cycle of wire
+  /// edges only, which the paper forbids). Throws bibs::ParseError.
+  void validate() const;
+
+ private:
+  BlockId add_block(BlockKind kind, const std::string& name,
+                    const std::string& op, int width);
+
+  std::string name_;
+  std::vector<Block> blocks_;
+  std::vector<Connection> conns_;
+  std::vector<std::vector<ConnId>> fanin_;
+  std::vector<std::vector<ConnId>> fanout_;
+};
+
+/// Parses the bibs RTL text format (see docs/netlist_format.md and
+/// parser.cpp for the grammar). Throws bibs::ParseError on malformed input.
+Netlist parse_netlist(const std::string& text);
+
+/// Serializes a netlist to the text format; parse_netlist(to_text(n)) is an
+/// exact structural round-trip.
+std::string to_text(const Netlist& n);
+
+}  // namespace bibs::rtl

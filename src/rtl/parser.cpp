@@ -1,0 +1,142 @@
+// Text format for RTL netlists. Grammar (one statement per line, '#' starts
+// a comment):
+//
+//   circuit <name>
+//   input   <name> <width>
+//   output  <name> <width>
+//   comb    <name> <op> <width>
+//   fanout  <name> <width>
+//   vacuous <name> <width>
+//   wire    <from> <to> <width>
+//   reg     <from> <to> <regname> <width>
+//
+// Blocks must be declared before they are referenced by wire/reg statements.
+// Fan-in order of wire/reg statements defines a block's input-port order.
+
+#include <sstream>
+
+#include "rtl/netlist.hpp"
+
+namespace bibs::rtl {
+
+namespace {
+
+int parse_width(const std::string& tok, int lineno) {
+  try {
+    std::size_t pos = 0;
+    const int w = std::stoi(tok, &pos);
+    if (pos != tok.size() || w <= 0) throw std::invalid_argument(tok);
+    return w;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(lineno) + ": bad width '" + tok +
+                     "'");
+  }
+}
+
+BlockId require_block(const Netlist& n, const std::string& name, int lineno) {
+  const BlockId id = n.find_block(name);
+  if (id == kNoBlock)
+    throw ParseError("line " + std::to_string(lineno) + ": unknown block '" +
+                     name + "'");
+  return id;
+}
+
+}  // namespace
+
+Netlist parse_netlist(const std::string& text) {
+  Netlist n;
+  bool named = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+
+    auto arity = [&](std::size_t want) {
+      if (tok.size() != want + 1)
+        throw ParseError("line " + std::to_string(lineno) + ": '" + tok[0] +
+                         "' expects " + std::to_string(want) + " operands");
+    };
+
+    const std::string& kw = tok[0];
+    if (kw == "circuit") {
+      arity(1);
+      if (named)
+        throw ParseError("line " + std::to_string(lineno) +
+                         ": duplicate 'circuit' statement");
+      n.set_name(tok[1]);
+      named = true;
+    } else if (kw == "input") {
+      arity(2);
+      n.add_input(tok[1], parse_width(tok[2], lineno));
+    } else if (kw == "output") {
+      arity(2);
+      n.add_output(tok[1], parse_width(tok[2], lineno));
+    } else if (kw == "comb") {
+      arity(3);
+      n.add_comb(tok[1], tok[2], parse_width(tok[3], lineno));
+    } else if (kw == "fanout") {
+      arity(2);
+      n.add_fanout(tok[1], parse_width(tok[2], lineno));
+    } else if (kw == "vacuous") {
+      arity(2);
+      n.add_vacuous(tok[1], parse_width(tok[2], lineno));
+    } else if (kw == "wire") {
+      arity(3);
+      n.connect_wire(require_block(n, tok[1], lineno),
+                     require_block(n, tok[2], lineno),
+                     parse_width(tok[3], lineno));
+    } else if (kw == "reg") {
+      arity(4);
+      n.connect_reg(require_block(n, tok[1], lineno),
+                    require_block(n, tok[2], lineno), tok[3],
+                    parse_width(tok[4], lineno));
+    } else {
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": unknown keyword '" + kw + "'");
+    }
+  }
+  n.validate();
+  return n;
+}
+
+std::string to_text(const Netlist& n) {
+  std::ostringstream os;
+  os << "circuit " << n.name() << "\n";
+  for (const Block& b : n.blocks()) {
+    switch (b.kind) {
+      case BlockKind::kInput:
+        os << "input " << b.name << ' ' << b.width << "\n";
+        break;
+      case BlockKind::kOutput:
+        os << "output " << b.name << ' ' << b.width << "\n";
+        break;
+      case BlockKind::kComb:
+        os << "comb " << b.name << ' ' << b.op << ' ' << b.width << "\n";
+        break;
+      case BlockKind::kFanout:
+        os << "fanout " << b.name << ' ' << b.width << "\n";
+        break;
+      case BlockKind::kVacuous:
+        os << "vacuous " << b.name << ' ' << b.width << "\n";
+        break;
+    }
+  }
+  for (const Connection& c : n.connections()) {
+    if (c.is_register())
+      os << "reg " << n.block(c.from).name << ' ' << n.block(c.to).name << ' '
+         << c.reg->name << ' ' << c.width << "\n";
+    else
+      os << "wire " << n.block(c.from).name << ' ' << n.block(c.to).name << ' '
+         << c.width << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bibs::rtl

@@ -1,0 +1,112 @@
+#include "rtl/sexpr.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace bibs::rtl {
+
+const std::string& Sexpr::head() const {
+  static const std::string kEmpty;
+  if (is_atom || children.empty() || !children[0].is_atom) return kEmpty;
+  return children[0].atom;
+}
+
+const Sexpr& Sexpr::at(std::size_t i) const {
+  if (is_atom || i >= children.size())
+    throw ParseError("sexpr: index " + std::to_string(i) + " out of range in " +
+                     to_string());
+  return children[i];
+}
+
+const std::string& Sexpr::atom_at(std::size_t i) const {
+  const Sexpr& c = at(i);
+  if (!c.is_atom)
+    throw ParseError("sexpr: expected an atom at position " +
+                     std::to_string(i) + " in " + to_string());
+  return c.atom;
+}
+
+int Sexpr::int_at(std::size_t i) const {
+  const std::string& a = atom_at(i);
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(a, &pos);
+    if (pos != a.size()) throw std::invalid_argument(a);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("sexpr: expected an integer, got '" + a + "'");
+  }
+}
+
+std::string Sexpr::to_string() const {
+  if (is_atom) return atom;
+  std::string s = "(";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i) s += ' ';
+    s += children[i].to_string();
+  }
+  return s + ")";
+}
+
+namespace {
+
+struct Lexer {
+  const std::string& text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ';') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("sexpr line " + std::to_string(line) + ": " + why);
+  }
+
+  Sexpr parse() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    if (text[pos] == '(') {
+      ++pos;
+      Sexpr list = Sexpr::make_list();
+      for (;;) {
+        skip_ws();
+        if (pos >= text.size()) fail("unterminated list");
+        if (text[pos] == ')') {
+          ++pos;
+          return list;
+        }
+        list.children.push_back(parse());
+      }
+    }
+    if (text[pos] == ')') fail("unexpected ')'");
+    std::string atom;
+    while (pos < text.size() && text[pos] != '(' && text[pos] != ')' &&
+           text[pos] != ';' &&
+           !std::isspace(static_cast<unsigned char>(text[pos])))
+      atom.push_back(text[pos++]);
+    return Sexpr::make_atom(std::move(atom));
+  }
+};
+
+}  // namespace
+
+Sexpr parse_sexpr(const std::string& text) {
+  Lexer lex{text};
+  Sexpr s = lex.parse();
+  lex.skip_ws();
+  if (lex.pos < text.size()) lex.fail("trailing content after expression");
+  return s;
+}
+
+}  // namespace bibs::rtl

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal S-expression reader/printer: the substrate for the EDIF-style
+// circuit format (the BITS system the paper integrates with exchanged
+// circuits as EDIF, which is S-expression based).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bibs::rtl {
+
+struct Sexpr {
+  /// An atom iff children is unused; a list otherwise.
+  bool is_atom = false;
+  std::string atom;
+  std::vector<Sexpr> children;
+
+  static Sexpr make_atom(std::string a) {
+    Sexpr s;
+    s.is_atom = true;
+    s.atom = std::move(a);
+    return s;
+  }
+  static Sexpr make_list(std::vector<Sexpr> kids = {}) {
+    Sexpr s;
+    s.children = std::move(kids);
+    return s;
+  }
+
+  /// List head atom ("" for empty lists / atoms-as-heads).
+  const std::string& head() const;
+  std::size_t size() const { return children.size(); }
+  const Sexpr& at(std::size_t i) const;
+  /// The i-th child as an atom; throws ParseError otherwise.
+  const std::string& atom_at(std::size_t i) const;
+  /// The i-th child as an integer; throws ParseError otherwise.
+  int int_at(std::size_t i) const;
+
+  std::string to_string() const;
+};
+
+/// Parses one S-expression (';' starts a line comment). Trailing content
+/// after the first complete expression is an error.
+Sexpr parse_sexpr(const std::string& text);
+
+}  // namespace bibs::rtl

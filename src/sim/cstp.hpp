@@ -1,0 +1,51 @@
+#pragma once
+// Circular self-test path (Krasniewski & Pilarski [4]) — the low-hardware
+// BIST baseline the paper contrasts BIBS against. Every flip-flop is spliced
+// into one circular path with an XOR: FF_i's next state is its functional D
+// XORed with FF_{i-1}'s present state. The circuit tests itself: the ring is
+// simultaneously pattern generator and compactor. The cost is test time —
+// kernels are neither balanced nor functionally exhaustively covered, and
+// the paper cites an estimated T * 2^M cycles with T in [4, 8].
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gate/netlist.hpp"
+
+namespace bibs::sim {
+
+struct CstpReport {
+  std::int64_t cycles = 0;
+  std::size_t total_faults = 0;
+  /// Faults whose machine diverged in any flip-flop at any cycle.
+  std::size_t detected_ideal = 0;
+  /// Faults whose final ring contents (the signature) differ.
+  std::size_t detected_by_signature = 0;
+};
+
+class CstpSession {
+ public:
+  /// The ring is every DFF of the netlist in id order, seeded with a single
+  /// 1 in the first flip-flop (an all-zero ring with quiet inputs would
+  /// never self-start).
+  explicit CstpSession(const gate::Netlist& nl);
+
+  CstpReport run(const fault::FaultList& faults, std::int64_t cycles) const;
+
+  /// Fault-free run measuring *pattern* coverage: the number of cycles until
+  /// the watched flip-flops (<= 24 of them) have taken `target` distinct
+  /// joint values, or -1 if max_cycles pass first. This is the quantity the
+  /// paper's "T * 2^M" estimate is about: how long the unstructured ring
+  /// takes to exhaust a kernel's input space, versus exactly 2^M - 1 for
+  /// the maximal-length BIBS TPG.
+  std::int64_t cycles_to_cover(const std::vector<gate::NetId>& watch,
+                               std::uint64_t target,
+                               std::int64_t max_cycles) const;
+
+ private:
+  const gate::Netlist* nl_;
+  std::vector<gate::NetId> ring_;
+};
+
+}  // namespace bibs::sim

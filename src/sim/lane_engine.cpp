@@ -1,0 +1,87 @@
+#include "sim/lane_engine.hpp"
+
+namespace bibs::sim {
+
+using gate::Gate;
+using gate::GateType;
+using gate::NetId;
+
+LaneEngine::LaneEngine(const gate::Netlist& nl,
+                       std::span<const fault::Fault> batch)
+    : nl_(&nl),
+      topo_(nl.comb_topo_order()),
+      val_(nl.net_count(), 0),
+      state_(nl.net_count(), 0),
+      stem0_(nl.net_count(), 0),
+      stem1_(nl.net_count(), 0) {
+  BIBS_ASSERT(batch.size() <= 63);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const fault::Fault& f = batch[k];
+    const std::uint64_t mask = 1ull << (k + 1);
+    if (f.pin < 0)
+      (f.stuck ? stem1_ : stem0_)[static_cast<std::size_t>(f.net)] |= mask;
+    else
+      pin_faults_[f.net].push_back({f.pin, mask, f.stuck});
+  }
+}
+
+void LaneEngine::set_dff_state(NetId dff, std::uint64_t word) {
+  state_[static_cast<std::size_t>(dff)] = word;
+}
+
+void LaneEngine::eval() {
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id) {
+    const Gate& g = nl_->gate(id);
+    if (g.type == GateType::kDff)
+      val_[static_cast<std::size_t>(id)] =
+          apply_stem(id, state_[static_cast<std::size_t>(id)]);
+    else if (g.type == GateType::kConst1)
+      val_[static_cast<std::size_t>(id)] = apply_stem(id, ~0ull);
+    else if (g.type == GateType::kConst0 || g.type == GateType::kInput)
+      val_[static_cast<std::size_t>(id)] =
+          apply_stem(id, g.type == GateType::kInput
+                             ? val_[static_cast<std::size_t>(id)]
+                             : 0ull);
+  }
+  std::uint64_t in[64];
+  for (NetId id : topo_) {
+    const Gate& g = nl_->gate(id);
+    for (std::size_t i = 0; i < g.fanin.size(); ++i)
+      in[i] = val_[static_cast<std::size_t>(g.fanin[i])];
+    std::uint64_t out = gate::Simulator::eval_gate(g.type, in, g.fanin.size());
+    if (auto it = pin_faults_.find(id); it != pin_faults_.end()) {
+      for (const PinFault& pf : it->second) {
+        const std::uint64_t save = in[static_cast<std::size_t>(pf.pin)];
+        in[static_cast<std::size_t>(pf.pin)] = pf.stuck ? ~0ull : 0ull;
+        const std::uint64_t forced =
+            gate::Simulator::eval_gate(g.type, in, g.fanin.size());
+        in[static_cast<std::size_t>(pf.pin)] = save;
+        out = (out & ~pf.mask) | (forced & pf.mask);
+      }
+    }
+    val_[static_cast<std::size_t>(id)] = apply_stem(id, out);
+  }
+}
+
+std::uint64_t LaneEngine::next_with_pin_faults(NetId dff,
+                                               std::uint64_t next) const {
+  if (auto it = pin_faults_.find(dff); it != pin_faults_.end())
+    for (const PinFault& pf : it->second)
+      next = pf.stuck ? (next | pf.mask) : (next & ~pf.mask);
+  return next;
+}
+
+void LaneEngine::clock() {
+  for (NetId d : nl_->dffs()) {
+    const Gate& g = nl_->gate(d);
+    BIBS_ASSERT(g.fanin.size() == 1);
+    state_[static_cast<std::size_t>(d)] = next_with_pin_faults(
+        d, val_[static_cast<std::size_t>(g.fanin[0])]);
+  }
+}
+
+void LaneEngine::clock_override(NetId dff, std::uint64_t next) {
+  state_[static_cast<std::size_t>(dff)] = next_with_pin_faults(dff, next);
+}
+
+}  // namespace bibs::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Parallel-fault gate-level machine shared by the BIST session emulator and
+// the CSTP baseline: lane 0 of every 64-bit word carries the fault-free
+// machine, lanes 1..63 carry machines with one injected stuck-at fault each.
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gate/netlist.hpp"
+#include "gate/sim.hpp"
+
+namespace bibs::sim {
+
+class LaneEngine {
+ public:
+  LaneEngine(const gate::Netlist& nl, std::span<const fault::Fault> batch);
+
+  void set_dff_state(gate::NetId dff, std::uint64_t word);
+  std::uint64_t state(gate::NetId dff) const {
+    return state_[static_cast<std::size_t>(dff)];
+  }
+  std::uint64_t value(gate::NetId net) const {
+    return val_[static_cast<std::size_t>(net)];
+  }
+
+  /// Evaluates all combinational logic with lane-wise fault injection.
+  void eval();
+  /// Clocks every DFF (stem faults on Q are re-applied at the next eval).
+  void clock();
+  /// Clocks one DFF with an explicit next value (for reconfigured registers,
+  /// e.g. the XOR splice of a circular self-test path). Pin faults on the
+  /// DFF still apply.
+  void clock_override(gate::NetId dff, std::uint64_t next);
+
+ private:
+  struct PinFault {
+    int pin;
+    std::uint64_t mask;
+    bool stuck;
+  };
+
+  std::uint64_t apply_stem(gate::NetId id, std::uint64_t v) const {
+    return (v | stem1_[static_cast<std::size_t>(id)]) &
+           ~stem0_[static_cast<std::size_t>(id)];
+  }
+  std::uint64_t next_with_pin_faults(gate::NetId dff,
+                                     std::uint64_t next) const;
+
+  const gate::Netlist* nl_;
+  std::vector<gate::NetId> topo_;
+  std::vector<std::uint64_t> val_;
+  std::vector<std::uint64_t> state_;
+  std::vector<std::uint64_t> stem0_;
+  std::vector<std::uint64_t> stem1_;
+  std::unordered_map<gate::NetId, std::vector<PinFault>> pin_faults_;
+};
+
+}  // namespace bibs::sim

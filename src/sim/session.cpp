@@ -1,0 +1,164 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gate/sim.hpp"
+#include "sim/lane_engine.hpp"
+#include "lfsr/lfsr.hpp"
+#include "lfsr/misr.hpp"
+
+namespace bibs::sim {
+
+using gate::Gate;
+using gate::GateType;
+using gate::NetId;
+
+BistSession::BistSession(const rtl::Netlist& n, const gate::Elaboration& elab,
+                         const core::BilboSet& bilbo,
+                         const core::Kernel& kernel)
+    : n_(&n), elab_(&elab), kernel_(&kernel) {
+  const tpg::GeneralizedStructure s = core::kernel_structure(n, bilbo, kernel);
+  tpg_ = tpg::mc_tpg(s);
+  depth_ = s.max_depth();
+
+  for (rtl::ConnId e : kernel.input_regs)
+    input_q_.push_back(elab.reg_q.at(e));
+  for (rtl::ConnId e : kernel.output_regs)
+    output_d_.push_back(elab.reg_d.at(e));
+
+  // Kernel cone: backwards from the output D pins through gates and internal
+  // registers; input-register Q nets are included as fault sites but not
+  // traversed beyond.
+  std::unordered_set<NetId> stop;
+  for (const gate::Bus& b : input_q_) stop.insert(b.begin(), b.end());
+  std::unordered_set<NetId> seen;
+  std::deque<NetId> q;
+  for (const gate::Bus& b : output_d_)
+    for (NetId net : b)
+      if (seen.insert(net).second) q.push_back(net);
+  while (!q.empty()) {
+    const NetId v = q.front();
+    q.pop_front();
+    cone_.push_back(v);
+    if (stop.count(v)) continue;
+    for (NetId f : elab.netlist.gate(v).fanin)
+      if (seen.insert(f).second) q.push_back(f);
+  }
+  std::sort(cone_.begin(), cone_.end());
+}
+
+fault::FaultList BistSession::kernel_faults() const {
+  const fault::FaultList all = fault::FaultList::collapsed(elab_->netlist);
+  std::unordered_set<NetId> cone(cone_.begin(), cone_.end());
+  // D-pin faults of the kernel's *input* registers are unobservable in this
+  // session: the TPG drives those registers, so their mission D path is
+  // disconnected. They belong to the session in which the register acts as
+  // a signature analyzer for the upstream kernel.
+  std::unordered_set<NetId> input_q;
+  for (const gate::Bus& b : input_q_) input_q.insert(b.begin(), b.end());
+  std::vector<fault::Fault> kept;
+  for (const fault::Fault& f : all.faults()) {
+    if (!cone.count(f.net)) continue;
+    if (f.pin >= 0 && input_q.count(f.net)) continue;
+    kept.push_back(f);
+  }
+  return fault::FaultList::from_faults(std::move(kept));
+}
+
+SessionReport BistSession::run(const fault::FaultList& faults,
+                               std::int64_t cycles) const {
+  if (cycles < 0)
+    cycles = static_cast<std::int64_t>(tpg_.pattern_count()) + depth_;
+
+  SessionReport rep;
+  rep.cycles = cycles;
+  rep.total_faults = faults.size();
+  rep.golden_signatures.assign(output_d_.size(), 0);
+
+  int max_shift = 0;
+  for (const auto& labels : tpg_.cell_label)
+    for (int l : labels) max_shift = std::max(max_shift, l - tpg_.min_label);
+
+  std::vector<char> det_out(faults.size(), 0);
+  std::vector<char> det_sig(faults.size(), 0);
+
+  std::size_t base = 0;
+  do {
+    const std::size_t batch = std::min<std::size_t>(
+        63, faults.size() > base ? faults.size() - base : 0);
+    LaneEngine eng(elab_->netlist,
+                   std::span<const fault::Fault>(faults.faults())
+                       .subspan(base, batch));
+
+    std::vector<std::vector<lfsr::Misr>> misr;
+    for (const gate::Bus& b : output_d_)
+      misr.emplace_back(batch + 1, lfsr::Misr(lfsr::primitive_polynomial(
+                                       static_cast<int>(b.size()))));
+
+    // TPG bit history: hist[k] = a(t - k).
+    lfsr::Type1Lfsr gen(tpg_.poly);
+    std::deque<bool> hist;
+    for (int i = 0; i <= max_shift; ++i) {
+      gen.step();
+      hist.push_front(gen.stage(1));
+    }
+
+    std::uint64_t out_diff_seen = 0;
+    for (std::int64_t t = 0; t < cycles; ++t) {
+      for (std::size_t ri = 0; ri < input_q_.size(); ++ri) {
+        const auto& labels = tpg_.cell_label[ri];
+        for (std::size_t j = 0; j < input_q_[ri].size(); ++j) {
+          const int shift = labels[j] - tpg_.min_label;
+          eng.set_dff_state(input_q_[ri][j],
+                            hist[static_cast<std::size_t>(shift)] ? ~0ull
+                                                                  : 0ull);
+        }
+      }
+      eng.eval();
+
+      for (std::size_t oi = 0; oi < output_d_.size(); ++oi) {
+        const gate::Bus& b = output_d_[oi];
+        for (std::size_t lane = 0; lane <= batch; ++lane) {
+          BitVec word(b.size());
+          for (std::size_t j = 0; j < b.size(); ++j)
+            word.set(j, (eng.value(b[j]) >> lane) & 1u);
+          misr[oi][lane].step(word);
+        }
+        for (std::size_t j = 0; j < b.size(); ++j) {
+          const std::uint64_t v = eng.value(b[j]);
+          out_diff_seen |= v ^ ((v & 1u) ? ~0ull : 0ull);
+        }
+      }
+
+      eng.clock();
+      gen.step();
+      hist.push_front(gen.stage(1));
+      hist.pop_back();
+    }
+
+    for (std::size_t k = 0; k < batch; ++k) {
+      if ((out_diff_seen >> (k + 1)) & 1u) det_out[base + k] = 1;
+      for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
+        if (misr[oi][k + 1].signature() != misr[oi][0].signature()) {
+          det_sig[base + k] = 1;
+          break;
+        }
+    }
+    if (base == 0)
+      for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
+        rep.golden_signatures[oi] = misr[oi][0].signature();
+    base += 63;
+  } while (base < faults.size());
+
+  rep.detected_at_outputs =
+      static_cast<std::size_t>(std::count(det_out.begin(), det_out.end(), 1));
+  rep.detected_by_signature =
+      static_cast<std::size_t>(std::count(det_sig.begin(), det_sig.end(), 1));
+  rep.aliased = rep.detected_at_outputs - rep.detected_by_signature;
+  return rep;
+}
+
+}  // namespace bibs::sim

@@ -1,0 +1,68 @@
+#pragma once
+// End-to-end BIST session emulation: the TPG of Section 4 drives a kernel of
+// the elaborated circuit cycle by cycle while MISRs compact the kernel's
+// output-register D values, exactly as a silicon BIST session would run.
+//
+// Fault handling uses classic *parallel-fault* simulation: lane 0 of each
+// 64-bit word carries the fault-free machine, lanes 1..63 carry machines
+// with one injected stuck-at fault each. Detection is judged on final MISR
+// signatures, so signature aliasing is modelled (and measured) rather than
+// assumed away.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "fault/fault.hpp"
+#include "gate/synth.hpp"
+#include "tpg/design.hpp"
+
+namespace bibs::sim {
+
+struct SessionReport {
+  std::int64_t cycles = 0;
+  std::size_t total_faults = 0;
+  /// Faults whose faulty machine produced a different value at some output
+  /// register D pin at some cycle (detectable by an ideal observer).
+  std::size_t detected_at_outputs = 0;
+  /// Faults whose final MISR signature differs from the fault-free one.
+  std::size_t detected_by_signature = 0;
+  /// detected_at_outputs - detected_by_signature: losses to MISR aliasing.
+  std::size_t aliased = 0;
+  /// Fault-free signature per output register (kernel output order).
+  std::vector<std::uint64_t> golden_signatures;
+};
+
+class BistSession {
+ public:
+  /// The kernel must be balanced BISTable under `bilbo`; the TPG is built
+  /// with MC_TPG from the kernel's generalized structure.
+  BistSession(const rtl::Netlist& n, const gate::Elaboration& elab,
+              const core::BilboSet& bilbo, const core::Kernel& kernel);
+
+  const tpg::TpgDesign& tpg() const { return tpg_; }
+
+  /// Stuck-at faults on the gates inside the kernel's logic cone, collapsed.
+  fault::FaultList kernel_faults() const;
+
+  /// Runs the session for `cycles` clocks (default: the TPG's full pattern
+  /// count plus the kernel depth) against the given faults.
+  SessionReport run(const fault::FaultList& faults,
+                    std::int64_t cycles = -1) const;
+
+ private:
+  const rtl::Netlist* n_;
+  const gate::Elaboration* elab_;
+  const core::Kernel* kernel_;
+  tpg::TpgDesign tpg_;
+  int depth_ = 0;
+
+  /// Gate nets belonging to the kernel's cone (fault sites).
+  std::vector<gate::NetId> cone_;
+  /// Input-register Q nets in TPG register order.
+  std::vector<gate::Bus> input_q_;
+  /// Output-register D nets in kernel output order.
+  std::vector<gate::Bus> output_d_;
+};
+
+}  // namespace bibs::sim

@@ -1,0 +1,102 @@
+#include "sim/testplan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/session.hpp"
+
+namespace bibs::sim {
+
+std::uint64_t TestPlan::total_test_time() const {
+  std::vector<std::uint64_t> longest(static_cast<std::size_t>(sessions), 0);
+  for (const KernelPlan& k : kernels)
+    longest[static_cast<std::size_t>(k.session)] =
+        std::max(longest[static_cast<std::size_t>(k.session)], k.cycles);
+  std::uint64_t total = 0;
+  for (std::uint64_t t : longest) total += t;
+  return total;
+}
+
+std::string TestPlan::to_string(const rtl::Netlist& n) const {
+  std::ostringstream os;
+  os << "test plan for '" << n.name() << "': " << kernels.size()
+     << " kernel(s), " << sessions << " session(s), total "
+     << total_test_time() << " clocks\n";
+  for (int sess = 0; sess < sessions; ++sess) {
+    os << "session " << sess + 1 << ":\n";
+    for (const KernelPlan& k : kernels) {
+      if (k.session != sess) continue;
+      os << "  kernel: TPG = [";
+      for (std::size_t i = 0; i < k.tpg_registers.size(); ++i)
+        os << (i ? " " : "") << k.tpg_registers[i];
+      os << "] as " << k.tpg.lfsr_stages << "-stage LFSR, p(x) = "
+         << k.tpg.poly.to_string() << "\n          SA  = [";
+      for (std::size_t i = 0; i < k.sa_registers.size(); ++i)
+        os << (i ? " " : "") << k.sa_registers[i];
+      os << "], " << k.cycles << " clocks, signatures:";
+      for (std::uint64_t sig : k.golden_signatures) {
+        os << " 0x" << std::hex << sig << std::dec;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string TestPlan::controller_rtl() const {
+  std::ostringstream os;
+  os << "// one-hot BIST controller (" << sessions + 1 << " states)\n";
+  os << "states: IDLE";
+  for (int s = 0; s < sessions; ++s) os << ", S" << s + 1;
+  os << ", DONE\n";
+  for (int s = 0; s < sessions; ++s) {
+    std::uint64_t longest = 0;
+    for (const KernelPlan& k : kernels)
+      if (k.session == s) longest = std::max(longest, k.cycles);
+    os << "S" << s + 1 << ": configure session-" << s + 1
+       << " BILBO modes; count " << longest << " clocks; then "
+       << (s + 1 < sessions ? ("goto S" + std::to_string(s + 2))
+                            : std::string("compare signatures, goto DONE"))
+       << "\n";
+  }
+  return os.str();
+}
+
+TestPlan make_test_plan(const rtl::Netlist& n, const gate::Elaboration& elab,
+                        const core::DesignResult& design,
+                        std::uint64_t cycle_cap) {
+  if (!design.report.ok)
+    throw DesignError("make_test_plan: design is not balanced BISTable");
+
+  TestPlan plan;
+  plan.bilbo = design.bilbo;
+
+  std::vector<core::Kernel> kernels;
+  for (const core::Kernel& k : design.report.kernels)
+    if (!k.trivial) kernels.push_back(k);
+  const core::Schedule sched = core::schedule_sessions(n, kernels);
+  plan.sessions = sched.sessions;
+
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const core::Kernel& k = kernels[i];
+    KernelPlan kp;
+    kp.session = sched.session_of[i];
+    for (rtl::ConnId e : k.input_regs)
+      kp.tpg_registers.push_back(n.connection(e).reg->name);
+    for (rtl::ConnId e : k.output_regs)
+      kp.sa_registers.push_back(n.connection(e).reg->name);
+
+    BistSession session(n, elab, design.bilbo, k);
+    kp.tpg = session.tpg();
+    kp.depth = core::kernel_depth(n, design.bilbo, k);
+    kp.cycles = std::min<std::uint64_t>(kp.tpg.test_time(kp.depth), cycle_cap);
+    const SessionReport rep =
+        session.run(fault::FaultList::from_faults({}),
+                    static_cast<std::int64_t>(kp.cycles));
+    kp.golden_signatures = rep.golden_signatures;
+    plan.kernels.push_back(std::move(kp));
+  }
+  return plan;
+}
+
+}  // namespace bibs::sim

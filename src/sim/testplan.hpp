@@ -1,0 +1,52 @@
+#pragma once
+// Test-plan synthesis: the tail of the BITS flow the paper describes —
+// given a BISTable design, produce the complete executable test program:
+// per session, which registers run as TPGs (with which LFSR) and which as
+// SAs, how many clocks to apply, and the fault-free signatures a tester
+// compares against. A simple one-hot controller description is emitted for
+// documentation/synthesis handoff.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/designer.hpp"
+#include "core/schedule.hpp"
+#include "gate/synth.hpp"
+#include "tpg/design.hpp"
+
+namespace bibs::sim {
+
+struct KernelPlan {
+  int session = 0;
+  std::vector<std::string> tpg_registers;  ///< in TPG concatenation order
+  std::vector<std::string> sa_registers;
+  tpg::TpgDesign tpg;
+  int depth = 0;
+  /// Clocks for this kernel: min(2^M - 1 + depth, cycle cap).
+  std::uint64_t cycles = 0;
+  /// Fault-free MISR signature per SA register.
+  std::vector<std::uint64_t> golden_signatures;
+};
+
+struct TestPlan {
+  core::BilboSet bilbo;
+  std::vector<KernelPlan> kernels;
+  int sessions = 0;
+
+  /// Total clocks: kernels in one session run concurrently.
+  std::uint64_t total_test_time() const;
+  /// Human-readable plan (the "test program" listing).
+  std::string to_string(const rtl::Netlist& n) const;
+  /// A one-hot controller FSM sketch: one state per session plus done.
+  std::string controller_rtl() const;
+};
+
+/// Builds the plan for a valid BIBS (or KA85) design. Kernels whose full
+/// functionally exhaustive run exceeds `cycle_cap` are truncated to the cap
+/// (pseudo-random BIST), which is the paper's Table 2 operating mode.
+TestPlan make_test_plan(const rtl::Netlist& n, const gate::Elaboration& elab,
+                        const core::DesignResult& design,
+                        std::uint64_t cycle_cap = 65536);
+
+}  // namespace bibs::sim

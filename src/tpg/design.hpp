@@ -1,0 +1,82 @@
+#pragma once
+// The TPG produced by the SC_TPG / MC_TPG procedures: a string of physical
+// flip-flops with stage labels. Labels in [min_label, min_label + M - 1] form
+// a type-1 maximal-length LFSR of degree M; larger labels are plain shift
+// stages fed by label-1; duplicated labels share the same fanout stem.
+//
+// The defining signal identity (from the type-1 LFSR shift property) is
+//     signal(L_k, t) = a(t - (k - min_label))
+// where a() is the LFSR's first-stage bit sequence. All analysis — including
+// the functional-exhaustiveness checks — reduces to reasoning about the label
+// offsets that reach each cone.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lfsr/polynomial.hpp"
+#include "tpg/structure.hpp"
+
+namespace bibs::tpg {
+
+struct TpgSlot {
+  int label = 0;
+  int reg = -1;   ///< register index, or -1 for a separator / top-up FF
+  int cell = -1;  ///< cell index within the register (0-based), or -1
+};
+
+struct TpgDesign {
+  GeneralizedStructure structure;
+  /// Physical FF string, in TPG order.
+  std::vector<TpgSlot> slots;
+  /// cell_label[i][j]: label of cell j of register i.
+  std::vector<std::vector<int>> cell_label;
+  /// Label of the first LFSR stage (1 except when negative displacements
+  /// push register labels below 1, as in the paper's Example 4).
+  int min_label = 1;
+  /// LFSR degree M.
+  int lfsr_stages = 0;
+  /// Characteristic polynomial (degree == lfsr_stages).
+  lfsr::Gf2Poly poly;
+
+  int physical_ffs() const { return static_cast<int>(slots.size()); }
+  /// Extra FFs beyond the kernel input width (the paper's d_1 - d_n for
+  /// descending single-cone structures).
+  int extra_ffs() const { return physical_ffs() - structure.total_width(); }
+  /// Patterns per full LFSR period: 2^M - 1.
+  std::uint64_t pattern_count() const {
+    return (lfsr_stages >= 64) ? ~0ull : (1ull << lfsr_stages) - 1;
+  }
+  /// Test time 2^M - 1 + d (Corollary 1), d = kernel sequential depth.
+  /// Saturates at 2^64 - 1 for 64-stage LFSRs.
+  std::uint64_t test_time(int sequential_depth) const {
+    const std::uint64_t p = pattern_count();
+    const std::uint64_t d = static_cast<std::uint64_t>(sequential_depth);
+    return (p > ~0ull - d) ? ~0ull : p + d;
+  }
+
+  /// Offset of a register cell into the LFSR's first-stage bit sequence,
+  /// for cone x: offset = d(reg, x) + (label - min_label). Cells whose
+  /// offsets are distinct and linearly independent see exhaustive patterns.
+  int cell_offset(int reg, int cell, int depth_to_cone) const {
+    return depth_to_cone + cell_label[static_cast<std::size_t>(reg)]
+                                     [static_cast<std::size_t>(cell)] -
+           min_label;
+  }
+
+  /// Two-line ASCII rendering of the FF string and label row, in the style
+  /// of the paper's Figures 13/15/16(b)/17(b).
+  std::string describe() const;
+};
+
+/// Procedure SC_TPG (Section 4.1): TPG for a single-cone balanced BISTable
+/// kernel. Registers are taken in the given order; sequential lengths come
+/// from the structure's unique cone. Throws bibs::DesignError if the
+/// structure has more than one cone.
+TpgDesign sc_tpg(const GeneralizedStructure& s);
+
+/// Procedure MC_TPG (Section 4.2): TPG for a multiple-cone kernel; reduces
+/// to SC_TPG behaviour on single-cone structures.
+TpgDesign mc_tpg(const GeneralizedStructure& s);
+
+}  // namespace bibs::tpg

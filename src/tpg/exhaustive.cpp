@@ -1,0 +1,142 @@
+#include "tpg/exhaustive.hpp"
+
+#include <algorithm>
+
+#include "common/bitvec.hpp"
+#include "lfsr/lfsr.hpp"
+
+namespace bibs::tpg {
+
+namespace {
+
+/// Cell offsets (into the first-stage bit sequence) for every cell a cone
+/// reads, concatenated dep by dep, cells LSB first.
+std::vector<int> cone_offsets(const TpgDesign& d, const Cone& cone) {
+  std::vector<int> offsets;
+  for (const ConeDep& dep : cone.deps) {
+    const int w =
+        d.structure.registers[static_cast<std::size_t>(dep.reg)].width;
+    for (int j = 0; j < w; ++j)
+      offsets.push_back(d.cell_offset(dep.reg, j, dep.d));
+  }
+  return offsets;
+}
+
+}  // namespace
+
+ExhaustiveReport check_exhaustive_sim(const TpgDesign& d, bool complete_lfsr) {
+  if (d.lfsr_stages > 22)
+    throw DesignError("check_exhaustive_sim: LFSR degree " +
+                      std::to_string(d.lfsr_stages) +
+                      " too large to simulate; use check_exhaustive_rank");
+  ExhaustiveReport rep;
+
+  std::vector<std::vector<int>> offsets;
+  int max_offset = 0;
+  for (const Cone& c : d.structure.cones) {
+    offsets.push_back(cone_offsets(d, c));
+    for (int o : offsets.back()) {
+      BIBS_ASSERT(o >= 0);
+      max_offset = std::max(max_offset, o);
+    }
+  }
+
+  // Pattern accumulators, one bit per possible cone pattern.
+  std::vector<BitVec> seen;
+  for (const Cone& c : d.structure.cones) {
+    const int w = d.structure.cone_width(c);
+    BIBS_ASSERT(w <= 28);
+    seen.emplace_back(std::size_t{1} << w);
+  }
+
+  // History ring of the LFSR's first-stage sequence a(t); label L_k carries
+  // a(t - (k - min_label)) by the type-1 shift property.
+  const int hist_len = max_offset + 1;
+  std::vector<std::uint8_t> hist(static_cast<std::size_t>(hist_len), 0);
+  std::int64_t t = 0;
+  auto a_at = [&](std::int64_t when) -> std::uint8_t {
+    return hist[static_cast<std::size_t>(when % hist_len)];
+  };
+
+  lfsr::Type1Lfsr plain(d.poly);
+  lfsr::CompleteLfsr complete(d.poly);
+
+  const std::uint64_t period = complete_lfsr
+                                   ? (1ull << d.lfsr_stages)
+                                   : (1ull << d.lfsr_stages) - 1;
+  const std::int64_t warmup = hist_len;
+  const std::int64_t total = warmup + static_cast<std::int64_t>(period);
+  for (; t < total; ++t) {
+    bool bit;
+    if (complete_lfsr) {
+      complete.step();
+      bit = complete.stage(1);
+    } else {
+      plain.step();
+      bit = plain.stage(1);
+    }
+    hist[static_cast<std::size_t>(t % hist_len)] = bit ? 1 : 0;
+    if (t < warmup) continue;
+    for (std::size_t ci = 0; ci < offsets.size(); ++ci) {
+      std::uint64_t pattern = 0;
+      for (std::size_t b = 0; b < offsets[ci].size(); ++b)
+        if (a_at(t - offsets[ci][b])) pattern |= 1ull << b;
+      seen[ci].set(static_cast<std::size_t>(pattern), true);
+    }
+  }
+
+  rep.all_exhaustive = true;
+  for (std::size_t ci = 0; ci < offsets.size(); ++ci) {
+    const Cone& c = d.structure.cones[ci];
+    ConeCoverage cov;
+    cov.cone = c.name;
+    cov.width = d.structure.cone_width(c);
+    cov.patterns = seen[ci].count();
+    const std::uint64_t want = complete_lfsr
+                                   ? (1ull << cov.width)
+                                   : (1ull << cov.width) - 1;
+    cov.exhaustive = cov.patterns >= want;
+    rep.all_exhaustive = rep.all_exhaustive && cov.exhaustive;
+    rep.cones.push_back(cov);
+  }
+  return rep;
+}
+
+int offset_rank(const std::vector<int>& offsets, const lfsr::Gf2Poly& p) {
+  // Residues x^o mod p fit in 64 bits for deg(p) <= 64.
+  std::vector<std::uint64_t> basis;
+  int rank = 0;
+  for (int o : offsets) {
+    BIBS_ASSERT(o >= 0);
+    std::uint64_t v =
+        lfsr::powmod(lfsr::Gf2Poly(2), static_cast<std::uint64_t>(o), p)
+            .mask();
+    for (std::uint64_t b : basis) v = std::min(v, v ^ b);
+    if (v) {
+      basis.push_back(v);
+      // Keep the basis reduced: fold the new vector into earlier ones.
+      std::sort(basis.begin(), basis.end(), std::greater<>());
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+ExhaustiveReport check_exhaustive_rank(const TpgDesign& d) {
+  ExhaustiveReport rep;
+  rep.all_exhaustive = true;
+  for (const Cone& c : d.structure.cones) {
+    const auto offsets = cone_offsets(d, c);
+    const int rank = offset_rank(offsets, d.poly);
+    ConeCoverage cov;
+    cov.cone = c.name;
+    cov.width = d.structure.cone_width(c);
+    cov.patterns = (rank >= 64) ? ~0ull : (1ull << rank) - 1;
+    cov.exhaustive = rank == cov.width;
+    rep.all_exhaustive = rep.all_exhaustive && cov.exhaustive;
+    rep.cones.push_back(cov);
+  }
+  return rep;
+}
+
+}  // namespace bibs::tpg

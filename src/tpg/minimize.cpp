@@ -1,0 +1,102 @@
+#include "tpg/minimize.hpp"
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+#include "tpg/exhaustive.hpp"
+
+namespace bibs::tpg {
+
+TpgDesign design_from_placement(const GeneralizedStructure& s,
+                                const std::vector<int>& start,
+                                int lfsr_stages) {
+  BIBS_ASSERT(start.size() == s.registers.size());
+  TpgDesign d;
+  d.structure = s;
+  d.min_label = 1;
+  d.lfsr_stages = lfsr_stages;
+  d.poly = lfsr::primitive_polynomial(lfsr_stages);
+  d.cell_label.resize(s.registers.size());
+
+  int max_label = lfsr_stages;
+  for (std::size_t i = 0; i < s.registers.size(); ++i) {
+    BIBS_ASSERT(start[i] >= 1);
+    const int w = s.registers[i].width;
+    for (int j = 0; j < w; ++j) {
+      d.cell_label[i].push_back(start[i] + j);
+      d.slots.push_back(TpgSlot{start[i] + j, static_cast<int>(i), j});
+      max_label = std::max(max_label, start[i] + j);
+    }
+  }
+  // Physical FFs for every label not occupied by a register cell.
+  std::vector<char> present(static_cast<std::size_t>(max_label) + 1, 0);
+  for (const TpgSlot& slot : d.slots)
+    present[static_cast<std::size_t>(slot.label)] = 1;
+  for (int l = 1; l <= max_label; ++l)
+    if (!present[static_cast<std::size_t>(l)])
+      d.slots.push_back(TpgSlot{l, -1, -1});
+  return d;
+}
+
+MinimizeResult minimize_tpg(const GeneralizedStructure& s,
+                            const MinimizeOptions& opt) {
+  s.validate();
+  MinimizeResult res;
+  res.design = mc_tpg(s);
+  res.mc_tpg_stages = res.design.lfsr_stages;
+
+  const int lower = s.max_cone_width();
+  res.optimal = res.design.lfsr_stages == lower;
+  if (res.optimal) return res;
+
+  Xoshiro256 rng(opt.seed);
+  const int n = static_cast<int>(s.registers.size());
+
+  // Try ascending degrees; accept the first degree with a certified
+  // placement (smaller degree == exponentially smaller test time, so a
+  // first-fit over degrees is the right order).
+  for (int k = lower; k < res.mc_tpg_stages; ++k) {
+    const lfsr::Gf2Poly poly = lfsr::primitive_polynomial(k);
+    // Start labels range over [1, span]: beyond ~k + max depth nothing new
+    // is reachable (labels only shift offsets further apart).
+    const int span = k + s.max_depth() + 1;
+
+    auto certify = [&](const std::vector<int>& start) {
+      for (const Cone& cone : s.cones) {
+        std::vector<int> offsets;
+        for (const ConeDep& dep : cone.deps) {
+          const int w = s.registers[static_cast<std::size_t>(dep.reg)].width;
+          for (int j = 0; j < w; ++j)
+            offsets.push_back(dep.d + start[static_cast<std::size_t>(dep.reg)] +
+                              j - 1);
+        }
+        if (offset_rank(offsets, poly) !=
+            s.cone_width(cone))
+          return false;
+      }
+      return true;
+    };
+
+    std::vector<int> start(static_cast<std::size_t>(n));
+    bool found = false;
+    for (int attempt = 0; attempt < opt.attempts_per_degree && !found;
+         ++attempt) {
+      for (int i = 0; i < n; ++i) {
+        const int w = s.registers[static_cast<std::size_t>(i)].width;
+        const int hi = std::max(1, span - w + 1);
+        start[static_cast<std::size_t>(i)] =
+            1 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(hi)));
+      }
+      found = certify(start);
+    }
+    if (found) {
+      res.design = design_from_placement(s, start, k);
+      res.optimal = k == lower;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace bibs::tpg

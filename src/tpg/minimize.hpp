@@ -1,0 +1,46 @@
+#pragma once
+// Minimal-TPG search — the open problem stated in the paper's conclusion:
+// using the necessary-and-sufficient condition for a k-stage LFSR to
+// functionally exhaustively test a kernel (our check_exhaustive_rank), find
+// a TPG with fewer LFSR stages / flip-flops than Procedure MC_TPG produces.
+//
+// MC_TPG restricts register cells to appear in the given order with minimal
+// displacements; the search here places each register's (contiguous) cell
+// block at a *free* start label, which subsumes both register permutation
+// (Section 4.3) and stage sharing, and accepts any placement the algebraic
+// rank condition certifies. Randomized restarts with a fixed seed keep the
+// procedure deterministic.
+
+#include "tpg/design.hpp"
+
+namespace bibs::tpg {
+
+struct MinimizeOptions {
+  /// Random placements tried per candidate LFSR degree.
+  int attempts_per_degree = 4000;
+  std::uint64_t seed = 0xB1B5;
+};
+
+struct MinimizeResult {
+  TpgDesign design;
+  /// LFSR stages of the plain mc_tpg design, for comparison.
+  int mc_tpg_stages = 0;
+  /// True when the 2^w lower bound (w = max cone width) was reached.
+  bool optimal = false;
+};
+
+/// Searches LFSR degrees from the max-cone-width lower bound up to the
+/// MC_TPG degree; returns the smallest certified design found (at worst the
+/// MC_TPG design itself).
+MinimizeResult minimize_tpg(const GeneralizedStructure& s,
+                            const MinimizeOptions& opt = {});
+
+/// Builds a TpgDesign from explicit register start labels (cell j of
+/// register i gets label start[i] + j; labels are 1-based) and an LFSR
+/// degree. Fills separator/top-up slots so every LFSR/shift label has a
+/// physical flip-flop. Does not verify exhaustiveness.
+TpgDesign design_from_placement(const GeneralizedStructure& s,
+                                const std::vector<int>& start,
+                                int lfsr_stages);
+
+}  // namespace bibs::tpg

@@ -1,0 +1,128 @@
+#include "tpg/optimize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bibs::tpg {
+
+OrderResult optimize_register_order(const GeneralizedStructure& s) {
+  s.validate();
+  const int n = static_cast<int>(s.registers.size());
+  if (n > 9)
+    throw DesignError("optimize_register_order: " + std::to_string(n) +
+                      " registers is beyond the exhaustive-search bound");
+  const int lower_bound = s.max_cone_width();
+
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+
+  OrderResult best;
+  bool have = false;
+  do {
+    const GeneralizedStructure p = s.permuted(perm);
+    TpgDesign d = mc_tpg(p);
+    const bool better =
+        !have || d.lfsr_stages < best.design.lfsr_stages ||
+        (d.lfsr_stages == best.design.lfsr_stages &&
+         d.physical_ffs() < best.design.physical_ffs());
+    if (better) {
+      best.order = perm;
+      best.design = std::move(d);
+      have = true;
+      if (best.design.lfsr_stages == lower_bound) {
+        best.optimal = true;
+        return best;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  best.optimal = best.design.lfsr_stages == lower_bound;
+  return best;
+}
+
+namespace {
+
+/// Backtracking k-colourability test over an adjacency matrix.
+bool colorable(const std::vector<std::vector<char>>& adj, int k,
+               std::vector<int>& color, std::size_t v) {
+  const std::size_t n = adj.size();
+  if (v == n) return true;
+  for (int c = 0; c < k; ++c) {
+    bool ok = true;
+    for (std::size_t u = 0; u < v; ++u)
+      if (adj[v][u] && color[u] == c) {
+        ok = false;
+        break;
+      }
+    if (!ok) continue;
+    color[v] = c;
+    if (colorable(adj, k, color, v + 1)) return true;
+  }
+  color[v] = -1;
+  return false;
+}
+
+}  // namespace
+
+TestSignalResult min_test_signals(const GeneralizedStructure& s) {
+  s.validate();
+  const std::size_t n = s.registers.size();
+  if (n > 24)
+    throw DesignError("min_test_signals: too many registers for exact search");
+
+  // Conflict graph: registers sharing a cone cannot share a test signal.
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  for (const Cone& c : s.cones)
+    for (std::size_t a = 0; a < c.deps.size(); ++a)
+      for (std::size_t b = a + 1; b < c.deps.size(); ++b) {
+        adj[static_cast<std::size_t>(c.deps[a].reg)]
+           [static_cast<std::size_t>(c.deps[b].reg)] = 1;
+        adj[static_cast<std::size_t>(c.deps[b].reg)]
+           [static_cast<std::size_t>(c.deps[a].reg)] = 1;
+      }
+
+  TestSignalResult res;
+  std::vector<int> color(n, -1);
+  for (int k = 1; k <= static_cast<int>(n); ++k) {
+    std::fill(color.begin(), color.end(), -1);
+    if (colorable(adj, k, color, 0)) {
+      res.signals = k;
+      res.signal_of_reg = color;
+      break;
+    }
+  }
+  // Each signal group is as wide as its widest member.
+  std::vector<int> group_width(static_cast<std::size_t>(res.signals), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    group_width[static_cast<std::size_t>(res.signal_of_reg[i])] = std::max(
+        group_width[static_cast<std::size_t>(res.signal_of_reg[i])],
+        s.registers[i].width);
+  res.lfsr_stages = std::accumulate(group_width.begin(), group_width.end(), 0);
+  return res;
+}
+
+ReconfigurableTpg reconfigurable_tpg(const GeneralizedStructure& s) {
+  s.validate();
+  ReconfigurableTpg out;
+  for (const Cone& c : s.cones) {
+    GeneralizedStructure sub;
+    Cone nc;
+    nc.name = c.name;
+    for (const ConeDep& d : c.deps) {
+      nc.deps.push_back(
+          {static_cast<int>(sub.registers.size()), d.d});
+      sub.registers.push_back(s.registers[static_cast<std::size_t>(d.reg)]);
+    }
+    sub.cones.push_back(std::move(nc));
+    out.sessions.push_back(mc_tpg(sub));
+  }
+  return out;
+}
+
+std::uint64_t ReconfigurableTpg::total_test_time() const {
+  std::uint64_t t = 0;
+  for (const TpgDesign& d : sessions)
+    t += d.test_time(d.structure.max_depth());
+  return t;
+}
+
+}  // namespace bibs::tpg

@@ -1,0 +1,56 @@
+#pragma once
+// Test-time optimization for multiple-cone kernels (Section 4.3):
+// functionally pseudo-exhaustive testing.
+//
+//  * optimize_register_order: runs MC_TPG once per input-register
+//    permutation and keeps the design with the smallest LFSR (the paper's
+//    recommended approach; input-register counts are small in practice).
+//    Terminates early when the 2^w lower bound (w = max cone width) is met.
+//  * min_test_signals: the McCluskey [17] minimal-test-signal procedure
+//    lifted to register-level signals (the paper's Example 8). Registers may
+//    share a test signal iff no cone depends on both; the minimum signal
+//    count is the chromatic number of the conflict graph.
+//  * reconfigurable_tpg: one LFSR configuration per cone, tested in separate
+//    sessions (Figure 20), trading control logic for test time.
+
+#include <cstdint>
+#include <vector>
+
+#include "tpg/design.hpp"
+
+namespace bibs::tpg {
+
+struct OrderResult {
+  /// order[i] = original index of the register placed at TPG position i.
+  std::vector<int> order;
+  TpgDesign design;
+  /// True when the 2^w lower bound on test time was reached.
+  bool optimal = false;
+};
+
+/// Exhaustive permutation search; throws bibs::DesignError for more than 9
+/// input registers (the paper notes kernels usually have fewer than 5).
+OrderResult optimize_register_order(const GeneralizedStructure& s);
+
+struct TestSignalResult {
+  int signals = 0;
+  /// signal_of_reg[i]: test-signal group of register i.
+  std::vector<int> signal_of_reg;
+  /// LFSR stages implied: sum over groups of the widest register in each.
+  int lfsr_stages = 0;
+};
+
+/// Exact minimum colouring of the register conflict graph (n <= 24).
+TestSignalResult min_test_signals(const GeneralizedStructure& s);
+
+struct ReconfigurableTpg {
+  /// One TPG per cone, over the sub-structure restricted to that cone.
+  std::vector<TpgDesign> sessions;
+
+  /// Sum over sessions of (2^M_s - 1 + depth_s).
+  std::uint64_t total_test_time() const;
+};
+
+ReconfigurableTpg reconfigurable_tpg(const GeneralizedStructure& s);
+
+}  // namespace bibs::tpg

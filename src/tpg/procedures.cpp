@@ -1,0 +1,155 @@
+// Procedures SC_TPG and MC_TPG from Sections 4.1 and 4.2.
+//
+// One deviation from the paper's literal text, deliberately: step 5 of
+// SC_TPG tops the label string up to L_M, which leaves the LFSR incomplete
+// when negative displacements have pushed labels below L_1 (the paper's own
+// Example 4 then starts the LFSR "at L_0 instead of L_1"). We generalize:
+// the LFSR always spans the M consecutive labels starting at the minimum
+// assigned label, and step 5 tops up to (min_label + M - 1). For min_label
+// == 1 this is exactly the paper's step 5.
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "tpg/design.hpp"
+
+namespace bibs::tpg {
+
+namespace {
+
+TpgDesign build(const GeneralizedStructure& s) {
+  s.validate();
+  const int n = static_cast<int>(s.registers.size());
+
+  TpgDesign d;
+  d.structure = s;
+  d.cell_label.assign(static_cast<std::size_t>(n), {});
+
+  // k[i]: label of the last cell of register i.
+  std::vector<int> k(static_cast<std::size_t>(n), 0);
+
+  auto place_register = [&](int i, int first_label) {
+    const int w = s.registers[static_cast<std::size_t>(i)].width;
+    auto& labels = d.cell_label[static_cast<std::size_t>(i)];
+    labels.resize(static_cast<std::size_t>(w));
+    for (int j = 0; j < w; ++j) {
+      labels[static_cast<std::size_t>(j)] = first_label + j;
+      d.slots.push_back(TpgSlot{first_label + j, i, j});
+    }
+    k[static_cast<std::size_t>(i)] = first_label + w - 1;
+  };
+
+  // Step 2: R_1 occupies labels 1..r_1.
+  place_register(0, 1);
+
+  // Step 3: displacement of each subsequent register against every
+  // predecessor it shares a cone with.
+  for (int i = 1; i < n; ++i) {
+    int delta_i = std::numeric_limits<int>::min();
+    for (int j = 0; j < i; ++j) {
+      int delta_ij = std::numeric_limits<int>::min();
+      for (const Cone& cone : s.cones) {
+        const auto di = cone.depth_of(i);
+        const auto dj = cone.depth_of(j);
+        if (di && dj) delta_ij = std::max(delta_ij, *dj - *di);
+      }
+      if (delta_ij == std::numeric_limits<int>::min()) continue;
+      delta_i = std::max(delta_i,
+                         delta_ij + k[static_cast<std::size_t>(j)] -
+                             k[static_cast<std::size_t>(i - 1)]);
+    }
+    // A register sharing no cone with any predecessor is unconstrained;
+    // place it adjacent (displacement 0).
+    if (delta_i == std::numeric_limits<int>::min()) delta_i = 0;
+
+    int last = k[static_cast<std::size_t>(i - 1)];
+    if (delta_i < 0) {
+      last += delta_i;  // share |delta| signals with the predecessor
+    } else {
+      for (int l = 1; l <= delta_i; ++l)
+        d.slots.push_back(TpgSlot{last + l, -1, -1});  // separator FFs
+      last += delta_i;
+    }
+    place_register(i, last + 1);
+  }
+
+  // Step 4: LFSR degree M = max logical span over cones (Theorem 7).
+  int m_stages = 0;
+  for (const Cone& cone : s.cones) {
+    const int first_reg = cone.deps.front().reg;
+    const int last_reg = cone.deps.back().reg;
+    const int l1 = d.cell_label[static_cast<std::size_t>(first_reg)].front();
+    const int up = d.cell_label[static_cast<std::size_t>(last_reg)].back();
+    const int span =
+        up - l1 + 1 + cone.deps.back().d - cone.deps.front().d;
+    m_stages = std::max(m_stages, span);
+  }
+  d.lfsr_stages = m_stages;
+
+  // Step 5 (generalized): complete the LFSR label range.
+  int min_label = std::numeric_limits<int>::max();
+  int max_label = std::numeric_limits<int>::min();
+  for (const TpgSlot& slot : d.slots) {
+    min_label = std::min(min_label, slot.label);
+    max_label = std::max(max_label, slot.label);
+  }
+  d.min_label = min_label;
+  // Top up past the current maximum, and fill any interior holes a large
+  // negative displacement may have left (|delta| > r_{i-1}, Example 4's
+  // pathological cousin): every LFSR stage label needs a physical FF.
+  std::vector<char> present(
+      static_cast<std::size_t>(std::max(max_label, min_label + m_stages - 1) -
+                               min_label + 1),
+      0);
+  for (const TpgSlot& slot : d.slots)
+    present[static_cast<std::size_t>(slot.label - min_label)] = 1;
+  for (int l = min_label; l <= min_label + m_stages - 1; ++l)
+    if (!present[static_cast<std::size_t>(l - min_label)])
+      d.slots.push_back(TpgSlot{l, -1, -1});
+
+  d.poly = lfsr::primitive_polynomial(m_stages);
+  return d;
+}
+
+}  // namespace
+
+TpgDesign mc_tpg(const GeneralizedStructure& s) { return build(s); }
+
+TpgDesign sc_tpg(const GeneralizedStructure& s) {
+  if (s.cones.size() != 1)
+    throw DesignError("sc_tpg requires a single-cone structure (got " +
+                      std::to_string(s.cones.size()) + " cones)");
+  if (s.cones[0].deps.size() != s.registers.size())
+    throw DesignError("sc_tpg: the cone must depend on every input register");
+  TpgDesign d = build(s);
+  // Single-cone invariant (Theorem 5): M equals the kernel input width.
+  BIBS_ASSERT(d.lfsr_stages == s.total_width());
+  return d;
+}
+
+std::string TpgDesign::describe() const {
+  // Row 1: register/cell occupancy; row 2: labels, LFSR stages bracketed.
+  std::ostringstream top, bot;
+  const int lfsr_last = min_label + lfsr_stages - 1;
+  for (const TpgSlot& s : slots) {
+    std::string cell =
+        s.reg >= 0
+            ? structure.registers[static_cast<std::size_t>(s.reg)].name + "." +
+                  std::to_string(s.cell + 1)
+            : std::string("--");
+    std::string lab = (s.label >= min_label && s.label <= lfsr_last)
+                          ? "[L" + std::to_string(s.label) + "]"
+                          : " L" + std::to_string(s.label) + " ";
+    const std::size_t w = std::max(cell.size(), lab.size()) + 1;
+    cell.resize(w, ' ');
+    lab.resize(w, ' ');
+    top << cell;
+    bot << lab;
+  }
+  return top.str() + "\n" + bot.str() + "\nLFSR: degree " +
+         std::to_string(lfsr_stages) + ", p(x) = " + poly.to_string() +
+         ", FFs = " + std::to_string(physical_ffs()) + "\n";
+}
+
+}  // namespace bibs::tpg

@@ -1,0 +1,92 @@
+#include "tpg/structure.hpp"
+
+#include <algorithm>
+
+namespace bibs::tpg {
+
+GeneralizedStructure GeneralizedStructure::single_cone(
+    std::vector<InputRegister> regs, const std::vector<int>& depths) {
+  BIBS_ASSERT(regs.size() == depths.size());
+  GeneralizedStructure s;
+  s.registers = std::move(regs);
+  Cone c;
+  c.name = "O";
+  for (std::size_t i = 0; i < depths.size(); ++i)
+    c.deps.push_back({static_cast<int>(i), depths[i]});
+  s.cones.push_back(std::move(c));
+  s.validate();
+  return s;
+}
+
+int GeneralizedStructure::total_width() const {
+  int w = 0;
+  for (const InputRegister& r : registers) w += r.width;
+  return w;
+}
+
+int GeneralizedStructure::cone_width(const Cone& c) const {
+  int w = 0;
+  for (const ConeDep& d : c.deps)
+    w += registers[static_cast<std::size_t>(d.reg)].width;
+  return w;
+}
+
+int GeneralizedStructure::max_cone_width() const {
+  int w = 0;
+  for (const Cone& c : cones) w = std::max(w, cone_width(c));
+  return w;
+}
+
+int GeneralizedStructure::max_depth() const {
+  int d = 0;
+  for (const Cone& c : cones)
+    for (const ConeDep& dep : c.deps) d = std::max(d, dep.d);
+  return d;
+}
+
+GeneralizedStructure GeneralizedStructure::permuted(
+    const std::vector<int>& order) const {
+  BIBS_ASSERT(order.size() == registers.size());
+  GeneralizedStructure out;
+  std::vector<int> inv(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out.registers.push_back(registers[static_cast<std::size_t>(order[i])]);
+    inv[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const Cone& c : cones) {
+    Cone nc;
+    nc.name = c.name;
+    for (const ConeDep& d : c.deps)
+      nc.deps.push_back({inv[static_cast<std::size_t>(d.reg)], d.d});
+    std::sort(nc.deps.begin(), nc.deps.end(),
+              [](const ConeDep& a, const ConeDep& b) { return a.reg < b.reg; });
+    out.cones.push_back(std::move(nc));
+  }
+  out.validate();
+  return out;
+}
+
+void GeneralizedStructure::validate() const {
+  if (registers.empty()) throw DesignError("structure has no input registers");
+  for (const InputRegister& r : registers)
+    if (r.width <= 0)
+      throw DesignError("register '" + r.name + "' has width <= 0");
+  if (cones.empty()) throw DesignError("structure has no cones");
+  for (const Cone& c : cones) {
+    if (c.deps.empty())
+      throw DesignError("cone '" + c.name + "' depends on no registers");
+    int prev = -1;
+    for (const ConeDep& d : c.deps) {
+      if (d.reg < 0 || d.reg >= static_cast<int>(registers.size()))
+        throw DesignError("cone '" + c.name + "' has a bad register index");
+      if (d.reg <= prev)
+        throw DesignError("cone '" + c.name +
+                          "' deps must be in ascending register order");
+      if (d.d < 0)
+        throw DesignError("cone '" + c.name + "' has negative depth");
+      prev = d.reg;
+    }
+  }
+}
+
+}  // namespace bibs::tpg

@@ -1,0 +1,63 @@
+#pragma once
+// The "generalized structure" of Section 4 (Figure 11): an abstraction of a
+// balanced BISTable kernel that keeps only what TPG design needs — the input
+// registers, the output cones, and the sequential length d of the paths from
+// each register to each cone it feeds.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bibs::tpg {
+
+struct InputRegister {
+  std::string name;
+  int width = 0;
+};
+
+/// One dependence of a cone on an input register.
+struct ConeDep {
+  int reg = -1;  ///< index into GeneralizedStructure::registers
+  int d = 0;     ///< sequential length from that register to the cone output
+};
+
+struct Cone {
+  std::string name;
+  std::vector<ConeDep> deps;  ///< ascending register index
+
+  std::optional<int> depth_of(int reg) const {
+    for (const ConeDep& dep : deps)
+      if (dep.reg == reg) return dep.d;
+    return std::nullopt;
+  }
+};
+
+struct GeneralizedStructure {
+  std::vector<InputRegister> registers;
+  std::vector<Cone> cones;
+
+  /// Convenience factory for single-cone kernels: registers in TPG order
+  /// with their sequential lengths to the unique output.
+  static GeneralizedStructure single_cone(std::vector<InputRegister> regs,
+                                          const std::vector<int>& depths);
+
+  /// Total input width M = sum of register widths.
+  int total_width() const;
+  /// Width of one cone: sum of the widths of the registers it depends on.
+  int cone_width(const Cone& c) const;
+  /// Largest cone width (the paper's w, the 2^w test-time lower bound).
+  int max_cone_width() const;
+  /// Sequential depth relevant to flushing: the largest d anywhere.
+  int max_depth() const;
+
+  /// Returns a copy with registers permuted: order[i] gives the original
+  /// index of the register placed at position i. Cone deps are re-indexed.
+  GeneralizedStructure permuted(const std::vector<int>& order) const;
+
+  /// Arity/index sanity checks; throws bibs::DesignError.
+  void validate() const;
+};
+
+}  // namespace bibs::tpg

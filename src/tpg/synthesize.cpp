@@ -1,0 +1,96 @@
+#include "tpg/synthesize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace bibs::tpg {
+
+using gate::GateType;
+using gate::NetId;
+
+std::size_t SynthesizedTpg::feedback_xors() const {
+  std::size_t n = 0;
+  for (const gate::Gate& g : netlist.gates())
+    if (g.type == GateType::kXor) ++n;
+  return n;
+}
+
+SynthesizedTpg synthesize_tpg(const TpgDesign& d) {
+  BIBS_ASSERT(!d.slots.empty());
+  SynthesizedTpg out;
+  out.min_label = d.min_label;
+
+  int max_label = d.min_label;
+  for (const TpgSlot& s : d.slots) max_label = std::max(max_label, s.label);
+  const int nlabels = max_label - d.min_label + 1;
+
+  // One DFF per physical slot; remember the driving (last) slot per label.
+  std::vector<NetId> slot_q;
+  std::vector<int> driver_slot(static_cast<std::size_t>(nlabels), -1);
+  for (std::size_t si = 0; si < d.slots.size(); ++si) {
+    const TpgSlot& s = d.slots[si];
+    std::string name =
+        s.reg >= 0 ? d.structure.registers[static_cast<std::size_t>(s.reg)]
+                             .name +
+                         "[" + std::to_string(s.cell) + "]"
+                   : "ff_L" + std::to_string(s.label);
+    slot_q.push_back(out.netlist.add_dff(gate::kNoNet, name));
+    driver_slot[static_cast<std::size_t>(s.label - d.min_label)] =
+        static_cast<int>(si);
+  }
+  out.stage_q.assign(static_cast<std::size_t>(nlabels), gate::kNoNet);
+  for (int l = 0; l < nlabels; ++l) {
+    BIBS_ASSERT(driver_slot[static_cast<std::size_t>(l)] >= 0);
+    out.stage_q[static_cast<std::size_t>(l)] =
+        slot_q[static_cast<std::size_t>(driver_slot[static_cast<std::size_t>(
+            l)])];
+  }
+
+  // Feedback network: XOR of the tap stages (stage k taps when the
+  // characteristic polynomial has coefficient x^(M-k)).
+  const int m = d.lfsr_stages;
+  std::vector<NetId> taps;
+  for (int k = 1; k <= m; ++k)
+    if (d.poly.coeff(m - k))
+      taps.push_back(out.stage_q[static_cast<std::size_t>(k - 1)]);
+  BIBS_ASSERT(!taps.empty());
+  NetId feedback = taps[0];
+  for (std::size_t i = 1; i < taps.size(); ++i)
+    feedback = out.netlist.add_gate(GateType::kXor, {feedback, taps[i]},
+                                    "fb" + std::to_string(i));
+
+  // D connections: every slot of label L is fed by the driving stage of
+  // label L-1; the first LFSR stage is fed by the feedback network.
+  for (std::size_t si = 0; si < d.slots.size(); ++si) {
+    const int l = d.slots[si].label - d.min_label;
+    out.netlist.set_dff_d(slot_q[si],
+                          l == 0 ? feedback
+                                 : out.stage_q[static_cast<std::size_t>(l - 1)]);
+  }
+
+  // Register-cell views and outputs.
+  out.cell_q.resize(d.structure.registers.size());
+  for (const TpgSlot& s : d.slots) {
+    if (s.reg < 0) continue;
+    auto& cells = out.cell_q[static_cast<std::size_t>(s.reg)];
+    if (cells.size() <= static_cast<std::size_t>(s.cell))
+      cells.resize(static_cast<std::size_t>(s.cell) + 1, gate::kNoNet);
+  }
+  for (std::size_t si = 0; si < d.slots.size(); ++si) {
+    const TpgSlot& s = d.slots[si];
+    if (s.reg < 0) continue;
+    out.cell_q[static_cast<std::size_t>(s.reg)]
+              [static_cast<std::size_t>(s.cell)] = slot_q[si];
+  }
+  for (std::size_t i = 0; i < out.cell_q.size(); ++i)
+    for (std::size_t j = 0; j < out.cell_q[i].size(); ++j) {
+      BIBS_ASSERT(out.cell_q[i][j] != gate::kNoNet);
+      out.netlist.mark_output(out.cell_q[i][j],
+                              d.structure.registers[i].name + "[" +
+                                  std::to_string(j) + "]");
+    }
+  out.netlist.validate();
+  return out;
+}
+
+}  // namespace bibs::tpg

@@ -1,0 +1,39 @@
+#pragma once
+// Hardware synthesis of a TpgDesign: emits the flip-flop string, the type-1
+// LFSR feedback network and the shift extensions as a gate::Netlist, closing
+// the loop between the paper's Figures 13-21 (which draw hardware) and the
+// label-offset semantics the analysis uses.
+//
+// Layout emitted:
+//   * one DFF per physical slot of the design;
+//   * for each label, the *last* slot carrying it is the driving stage
+//     (the paper's step 6); other slots with the same label are fed by the
+//     same fanout stem (the driving stage of label-1);
+//   * the first LFSR stage's D is the XOR of the tap stages;
+//   * every non-first stage's D is the driving stage of label-1.
+//
+// Register cell (i, j) is exposed as a marked output "Ri[j]" so a simulator
+// can watch exactly what the kernel's input registers would receive.
+
+#include "gate/netlist.hpp"
+#include "tpg/design.hpp"
+
+namespace bibs::tpg {
+
+struct SynthesizedTpg {
+  gate::Netlist netlist;
+  /// DFF nets per register cell: cell_q[i][j] for register i cell j.
+  std::vector<std::vector<gate::NetId>> cell_q;
+  /// DFF net of the driving stage for each label (label -> net).
+  std::vector<gate::NetId> stage_q;
+  int min_label = 1;
+
+  /// Number of 2-input XOR gates in the feedback network.
+  std::size_t feedback_xors() const;
+};
+
+/// Synthesizes the TPG. The netlist is autonomous (no PIs); seed it by
+/// setting DFF states and clock it with gate::Simulator.
+SynthesizedTpg synthesize_tpg(const TpgDesign& d);
+
+}  // namespace bibs::tpg

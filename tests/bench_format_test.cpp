@@ -1,0 +1,128 @@
+// Tests for the ISCAS-89 .bench reader/writer.
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "common/prng.hpp"
+#include "fault/simulator.hpp"
+#include "gate/bench_format.hpp"
+#include "gate/sim.hpp"
+#include "gate/synth.hpp"
+
+namespace bibs::gate {
+namespace {
+
+const char* kS27ish = R"(
+# a small sequential example in ISCAS-89 style
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G10 = NAND(G0, G5)
+G11 = OR(G1, G6)
+G16 = XOR(G10, G11)
+G17 = NOT(G16)
+)";
+
+TEST(BenchFormat, ParsesSequentialNetlist) {
+  const Netlist nl = parse_bench(kS27ish);
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 4u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchFormat, ForwardReferencesResolve) {
+  // G10 is referenced by the DFF before its defining line: must still work.
+  const Netlist nl = parse_bench(kS27ish);
+  // DFF G5's D must be the NAND gate.
+  for (NetId d : nl.dffs()) {
+    const Gate& g = nl.gate(d);
+    ASSERT_EQ(g.fanin.size(), 1u);
+    const GateType t = nl.gate(g.fanin[0]).type;
+    EXPECT_TRUE(t == GateType::kNand || t == GateType::kOr);
+  }
+}
+
+TEST(BenchFormat, RoundTripSmall) {
+  const Netlist a = parse_bench(kS27ish);
+  const Netlist b = parse_bench(to_bench(a));
+  EXPECT_EQ(a.net_count(), b.net_count());
+  EXPECT_EQ(a.gate_count(), b.gate_count());
+  EXPECT_EQ(a.dffs().size(), b.dffs().size());
+  EXPECT_EQ(to_bench(a), to_bench(b));
+}
+
+TEST(BenchFormat, RoundTripPreservesFunction) {
+  // Export an adder, re-import, and check both netlists compute identically.
+  Netlist nl;
+  Bus a, b;
+  for (int i = 0; i < 4; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < 4; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  Bus s = ripple_adder(nl, a, b, true);
+  for (NetId o : s) nl.mark_output(o);
+
+  const Netlist back = parse_bench(to_bench(nl));
+  Simulator sim(back);
+  Bus a2(back.inputs().begin(), back.inputs().begin() + 4);
+  Bus b2(back.inputs().begin() + 4, back.inputs().end());
+  Bus s2(back.outputs().begin(), back.outputs().end());
+  for (std::uint64_t x = 0; x < 16; ++x)
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      sim.set_bus(a2, x);
+      sim.set_bus(b2, y);
+      sim.eval();
+      EXPECT_EQ(sim.bus_value(s2, 0), x + y);
+    }
+}
+
+TEST(BenchFormat, RoundTripElaboratedDatapath) {
+  const auto n = circuits::make_c3a2m();
+  const auto elab = elaborate(n);
+  const std::string text = to_bench(elab.netlist);
+  const Netlist back = parse_bench(text);
+  EXPECT_EQ(back.gate_count(), elab.netlist.gate_count());
+  EXPECT_EQ(back.dffs().size(), elab.netlist.dffs().size());
+  EXPECT_EQ(back.inputs().size(), elab.netlist.inputs().size());
+}
+
+TEST(BenchFormat, ImportedCircuitFaultSimulates) {
+  // The full flow a downstream user wants: read .bench, fault-simulate.
+  const char* comb = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+u = AND(a, b)
+v = NOT(c)
+y = OR(u, v)
+)";
+  const Netlist nl = parse_bench(comb);
+  fault::FaultSimulator sim(nl, fault::FaultList::collapsed(nl));
+  EXPECT_DOUBLE_EQ(sim.run_exhaustive().coverage(), 1.0);
+}
+
+TEST(BenchFormat, Errors) {
+  EXPECT_THROW(parse_bench("WIBBLE(a)\n"), ParseError);
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"), ParseError);
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(z)\n"), ParseError);
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(q)\n"), ParseError);
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(a)\n"),
+               ParseError);
+  // Combinational loop.
+  EXPECT_THROW(
+      parse_bench("INPUT(a)\nOUTPUT(y)\nu = AND(a, y)\ny = NOT(u)\n"),
+      ParseError);
+}
+
+TEST(BenchFormat, CaseInsensitiveKeywords) {
+  const Netlist nl = parse_bench(
+      "input(a)\noutput(y)\ny = nand(a, a)\n");
+  EXPECT_EQ(nl.gate_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bibs::gate

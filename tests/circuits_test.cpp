@@ -1,0 +1,110 @@
+// Tests pinning down the structural properties the paper states for each
+// reconstructed figure and data path (register counts, widths, functions).
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "graph/analysis.hpp"
+
+namespace bibs::circuits {
+namespace {
+
+TEST(Fig1, TwoBranchesOfDifferentLength) {
+  const auto n = make_fig1();
+  EXPECT_EQ(n.register_edges().size(), 2u);  // R and the PO register
+  EXPECT_FALSE(graph::check_balanced(n).balanced);
+}
+
+TEST(Fig3, StructureMatchesSection31) {
+  const auto n = make_fig3();
+  // One fanout vertex, one vacuous vertex, blocks A..H.
+  int fanouts = 0, vacuous = 0, combs = 0;
+  for (const auto& b : n.blocks()) {
+    fanouts += b.kind == rtl::BlockKind::kFanout;
+    vacuous += b.kind == rtl::BlockKind::kVacuous;
+    combs += b.kind == rtl::BlockKind::kComb;
+  }
+  EXPECT_EQ(fanouts, 1);
+  EXPECT_EQ(vacuous, 1);
+  EXPECT_EQ(combs, 8);  // A..H
+  // D has two input ports (called out in the text).
+  EXPECT_EQ(n.fanin(n.find_block("D")).size(), 2u);
+  // The URFS from the text: FO1 to H via A-D (1 reg) and via C-E-G (2 regs).
+  graph::EdgeSet cycle{n.find_register("R5"), n.find_register("R6")};
+  const auto urfs = graph::find_all_urfs(n, cycle);
+  EXPECT_FALSE(urfs.empty());
+}
+
+TEST(Fig4, NineRegisters) {
+  const auto n = make_fig4();
+  EXPECT_EQ(n.register_edges().size(), 9u);
+  for (int i = 1; i <= 9; ++i)
+    EXPECT_NE(n.find_register("R" + std::to_string(i)), -1) << i;
+}
+
+TEST(Fig9, RegisterWidthTotalsMatchThePaper) {
+  const auto n = make_fig9();
+  EXPECT_EQ(n.register_edges().size(), 10u);
+  EXPECT_EQ(n.total_register_bits(), 52);
+}
+
+TEST(Datapaths, RegisterCountsMatchTable2Derivation) {
+  EXPECT_EQ(make_c5a2m().register_edges().size(), 15u);
+  EXPECT_EQ(make_c3a2m().register_edges().size(), 21u);
+  EXPECT_EQ(make_c4a4m().register_edges().size(), 20u);
+}
+
+TEST(Datapaths, BlockInventoryMatchesTable1) {
+  auto count_op = [](const rtl::Netlist& n, const std::string& op) {
+    int c = 0;
+    for (const auto& b : n.blocks())
+      if (b.kind == rtl::BlockKind::kComb && b.op == op) ++c;
+    return c;
+  };
+  const auto c5 = make_c5a2m();
+  EXPECT_EQ(count_op(c5, "add"), 5);
+  EXPECT_EQ(count_op(c5, "mul"), 2);
+  const auto c3 = make_c3a2m();
+  EXPECT_EQ(count_op(c3, "add"), 3);
+  EXPECT_EQ(count_op(c3, "mul"), 2);
+  const auto c4 = make_c4a4m();
+  EXPECT_EQ(count_op(c4, "add"), 4);
+  EXPECT_EQ(count_op(c4, "mul"), 4);
+}
+
+TEST(Datapaths, EightBitWide) {
+  for (const auto& n : {make_c5a2m(), make_c3a2m(), make_c4a4m()}) {
+    for (const auto& b : n.blocks()) EXPECT_EQ(b.width, 8) << b.name;
+  }
+}
+
+TEST(Datapaths, ParameterizedWidthsWork) {
+  for (int w : {2, 4, 16}) {
+    EXPECT_NO_THROW(make_c5a2m(w).validate());
+    EXPECT_NO_THROW(make_c3a2m(w).validate());
+    EXPECT_NO_THROW(make_c4a4m(w).validate());
+  }
+}
+
+TEST(Fir, ScalesWithTaps) {
+  for (int taps : {2, 4, 8, 12}) {
+    const auto n = make_fir_datapath(taps);
+    EXPECT_NO_THROW(n.validate());
+    EXPECT_TRUE(graph::check_balanced(n).balanced) << taps;
+    int muls = 0, adds = 0;
+    for (const auto& b : n.blocks()) {
+      muls += b.kind == rtl::BlockKind::kComb && b.op == "mul";
+      adds += b.kind == rtl::BlockKind::kComb && b.op == "add";
+    }
+    EXPECT_EQ(muls, taps);
+    EXPECT_EQ(adds, taps - 1);
+  }
+}
+
+TEST(Fir, RejectsDegenerateTapCount) {
+  EXPECT_THROW(make_fir_datapath(1), Error);
+}
+
+}  // namespace
+}  // namespace bibs::circuits

@@ -1,0 +1,154 @@
+// Unit tests for the common utilities: BitVec, PRNG, Table.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitvec.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+
+namespace bibs {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ConstructAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVec, ConstructAllOne) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.count(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVec, SetGetAcrossWordBoundary) {
+  BitVec v(100);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(62));
+  EXPECT_EQ(v.count(), 3u);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, ExtractDeposit) {
+  BitVec v(128);
+  v.deposit(60, 10, 0x2ABu);
+  EXPECT_EQ(v.extract(60, 10), 0x2ABu);
+  EXPECT_EQ(v.extract(0, 60), 0u);
+  v.deposit(0, 64, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(v.extract(0, 64), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(BitVec, ExtractZeroWidth) {
+  BitVec v(8, true);
+  EXPECT_EQ(v.extract(3, 0), 0u);
+}
+
+TEST(BitVec, RoundTripString) {
+  const std::string s = "0110100111010001";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count(), 8u);
+}
+
+TEST(BitVec, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_string("01x"), ParseError);
+}
+
+TEST(BitVec, EqualityIgnoresNothing) {
+  BitVec a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(3, true);
+  EXPECT_NE(a, b);
+  b.set(3, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, ResizeClearsTailBits) {
+  BitVec v(10, true);
+  v.resize(70);
+  EXPECT_EQ(v.count(), 10u);
+  for (std::size_t i = 10; i < 70; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowInRangeAndCoversValues) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Table, ThousandsSeparators) {
+  EXPECT_EQ(Table::num(0ll), "0");
+  EXPECT_EQ(Table::num(999ll), "999");
+  EXPECT_EQ(Table::num(1000ll), "1,000");
+  EXPECT_EQ(Table::num(2542ll), "2,542");
+  EXPECT_EQ(Table::num(1234567ll), "1,234,567");
+  EXPECT_EQ(Table::num(-1234ll), "-1,234");
+}
+
+TEST(Table, PrintsAlignedGrid) {
+  Table t("demo");
+  t.header({"a", "bb"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |"), std::string::npos);
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(BIBS_ASSERT(1 == 2), InternalError);
+  EXPECT_NO_THROW(BIBS_ASSERT(1 == 1));
+}
+
+}  // namespace
+}  // namespace bibs

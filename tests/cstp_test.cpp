@@ -1,0 +1,116 @@
+// Tests for the circular self-test path baseline and the optimal scheduler.
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "core/designer.hpp"
+#include "core/schedule.hpp"
+#include "gate/synth.hpp"
+#include "sim/cstp.hpp"
+#include "sim/session.hpp"
+
+namespace bibs {
+namespace {
+
+TEST(Cstp, DetectsFaultsOnASimpleKernel) {
+  const auto n = circuits::make_fig2(4);
+  const auto elab = gate::elaborate(n);
+  sim::CstpSession cstp(elab.netlist);
+  const auto faults = fault::FaultList::collapsed(elab.netlist);
+  const auto rep = cstp.run(faults, 2000);
+  EXPECT_EQ(rep.total_faults, faults.size());
+  // The ring is generator and compactor at once and catches the bulk of the
+  // faults; the remainder sit in the primary-input pads, which a pure CSTP
+  // run leaves undriven (a real collar would include them in the ring) —
+  // one more structural disadvantage versus the BIBS boundary BILBOs.
+  EXPECT_GT(rep.detected_ideal * 10, faults.size() * 6);
+  EXPECT_LE(rep.detected_by_signature, rep.detected_ideal);
+}
+
+TEST(Cstp, LongerRunsDetectAtLeastAsMuch) {
+  const auto n = circuits::make_fig12a(4);
+  const auto elab = gate::elaborate(n);
+  sim::CstpSession cstp(elab.netlist);
+  const auto faults = fault::FaultList::collapsed(elab.netlist);
+  const auto brief = cstp.run(faults, 64);
+  const auto longer = cstp.run(faults, 4096);
+  EXPECT_GE(longer.detected_ideal, brief.detected_ideal);
+}
+
+TEST(Cstp, PatternCoverageNeedsACouponCollectorMultiple) {
+  // The paper's CSTP contrast: exhausting the kernel input space costs a
+  // multiple of 2^M cycles (T in [4,8]) where the BIBS TPG needs 2^M - 1.
+  const auto n = circuits::make_fig12a(3);  // M = 9: fast to simulate
+  const auto elab = gate::elaborate(n);
+  const auto design = core::design_bibs(n);
+  std::vector<gate::NetId> watch;
+  for (const core::Kernel& k : design.report.kernels) {
+    if (k.trivial) continue;
+    for (rtl::ConnId e : k.input_regs)
+      for (gate::NetId q : elab.reg_q.at(e)) watch.push_back(q);
+  }
+  ASSERT_EQ(watch.size(), 9u);
+  sim::CstpSession cstp(elab.netlist);
+  const std::int64_t full =
+      cstp.cycles_to_cover(watch, 1ull << 9, 64ll << 9);
+  ASSERT_GT(full, 0);
+  EXPECT_GT(full, 2 * 512);   // well beyond one period...
+  EXPECT_LT(full, 24 * 512);  // ...but a bounded multiple of it
+  // Half coverage comes much sooner than the tail.
+  const std::int64_t half = cstp.cycles_to_cover(watch, 256, 64ll << 9);
+  EXPECT_LT(half * 3, full);
+}
+
+TEST(ScheduleOptimal, MatchesGreedyOnPaperCircuits) {
+  for (int which = 0; which < 3; ++which) {
+    const auto n = which == 0   ? circuits::make_c5a2m()
+                   : which == 1 ? circuits::make_c3a2m()
+                                : circuits::make_c4a4m();
+    const auto ka = core::design_ka85(n);
+    std::vector<core::Kernel> kernels;
+    for (const core::Kernel& k : ka.report.kernels)
+      if (!k.trivial) kernels.push_back(k);
+    const auto greedy = core::schedule_sessions(n, kernels);
+    const auto optimal = core::schedule_sessions_optimal(n, kernels);
+    EXPECT_EQ(optimal.sessions, 2) << which;
+    EXPECT_EQ(greedy.sessions, optimal.sessions) << which;
+    // The optimal colouring is a valid schedule: conflicting kernels (those
+    // sharing a register) never share a session.
+    for (std::size_t a = 0; a < kernels.size(); ++a)
+      for (std::size_t b = a + 1; b < kernels.size(); ++b) {
+        bool share = false;
+        for (rtl::ConnId e : kernels[a].input_regs)
+          for (rtl::ConnId e2 : kernels[b].input_regs)
+            if (e == e2) share = true;
+        for (rtl::ConnId e : kernels[a].output_regs)
+          for (rtl::ConnId e2 : kernels[b].input_regs)
+            if (e == e2) share = true;
+        for (rtl::ConnId e : kernels[a].input_regs)
+          for (rtl::ConnId e2 : kernels[b].output_regs)
+            if (e == e2) share = true;
+        for (rtl::ConnId e : kernels[a].output_regs)
+          for (rtl::ConnId e2 : kernels[b].output_regs)
+            if (e == e2) share = true;
+        if (share) {
+          EXPECT_NE(optimal.session_of[a], optimal.session_of[b])
+              << which << " kernels " << a << "," << b;
+        }
+      }
+  }
+}
+
+TEST(ScheduleOptimal, EmptyAndSingleton) {
+  const auto n = circuits::make_fig2();
+  const auto res = core::design_bibs(n);
+  std::vector<core::Kernel> kernels;
+  for (const core::Kernel& k : res.report.kernels)
+    if (!k.trivial) kernels.push_back(k);
+  const auto s = core::schedule_sessions_optimal(n, kernels);
+  EXPECT_EQ(s.sessions, 1);
+  const auto empty = core::schedule_sessions_optimal(n, {});
+  EXPECT_EQ(empty.sessions, 0);
+}
+
+}  // namespace
+}  // namespace bibs

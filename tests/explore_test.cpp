@@ -1,0 +1,66 @@
+// Tests for the design-space explorer (the BITS "family of solutions").
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "core/designer.hpp"
+#include "core/explore.hpp"
+
+namespace bibs::core {
+namespace {
+
+TEST(Explore, FrontierStartsAtTheMinimalBibsDesign) {
+  const auto n = circuits::make_c5a2m();
+  const auto frontier = explore_design_space(n);
+  ASSERT_FALSE(frontier.empty());
+  const auto base = design_bibs(n);
+  EXPECT_EQ(frontier.front().bilbo, base.bilbo);
+  EXPECT_EQ(frontier.front().max_kernel_width, 64);
+  EXPECT_EQ(frontier.front().kernels, 1u);
+}
+
+TEST(Explore, FrontierIsMonotone) {
+  for (int which = 0; which < 3; ++which) {
+    const auto n = which == 0   ? circuits::make_c5a2m()
+                   : which == 1 ? circuits::make_c3a2m()
+                                : circuits::make_c4a4m();
+    const auto frontier = explore_design_space(n);
+    ASSERT_GE(frontier.size(), 3u) << which;
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      // Strictly shrinking dominating kernel, non-decreasing hardware.
+      EXPECT_LT(frontier[i].max_kernel_width,
+                frontier[i - 1].max_kernel_width);
+      EXPECT_GT(frontier[i].bilbo_ffs, frontier[i - 1].bilbo_ffs);
+    }
+  }
+}
+
+TEST(Explore, EveryPointIsValid) {
+  const auto n = circuits::make_c3a2m();
+  for (const auto& p : explore_design_space(n))
+    EXPECT_TRUE(check_bibs_testable(n, p.bilbo).ok);
+}
+
+TEST(Explore, ReachesThePerBlockRegime) {
+  // The sweep must reach kernels no wider than two operands (16 bits),
+  // i.e. the granularity of the KA85 per-block kernels.
+  const auto n = circuits::make_c5a2m();
+  const auto frontier = explore_design_space(n);
+  EXPECT_EQ(frontier.back().max_kernel_width, 16);
+  // c4a4m needs pair conversions (the reconverging multipliers) to get to
+  // its 24-bit {Mi,Mj} kernels.
+  const auto f4 = explore_design_space(circuits::make_c4a4m());
+  EXPECT_LE(f4.back().max_kernel_width, 24);
+}
+
+TEST(Explore, BalancedPipelineWithoutChoicesHasShortFrontier) {
+  const auto n = circuits::make_fig2();
+  const auto frontier = explore_design_space(n);
+  ASSERT_GE(frontier.size(), 1u);
+  // Only R2 can be added; it splits the two inverters into two kernels.
+  EXPECT_LE(frontier.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bibs::core

@@ -1,0 +1,198 @@
+// Tests for the circuit-graph analyses: cycles, balance, URFS, depth, and
+// the maximal-delay metric, exercised on the paper's figure circuits.
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "graph/analysis.hpp"
+
+namespace bibs::graph {
+namespace {
+
+using circuits::make_c3a2m;
+using circuits::make_c4a4m;
+using circuits::make_c5a2m;
+using circuits::make_fig1;
+using circuits::make_fig2;
+using circuits::make_fig3;
+using circuits::make_fig4;
+using circuits::make_fig9;
+
+TEST(Acyclic, PipelinesAreAcyclic) {
+  EXPECT_TRUE(is_acyclic(make_fig1()));
+  EXPECT_TRUE(is_acyclic(make_fig2()));
+  EXPECT_TRUE(is_acyclic(make_fig4()));
+  EXPECT_TRUE(is_acyclic(make_c5a2m()));
+  EXPECT_TRUE(is_acyclic(make_c3a2m()));
+  EXPECT_TRUE(is_acyclic(make_c4a4m()));
+}
+
+TEST(Acyclic, Fig3HasTheFHCycle) {
+  const auto n = make_fig3();
+  EXPECT_FALSE(is_acyclic(n));
+  const auto cycles = find_cycles(n);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 2u);  // F -> H and H -> F
+  for (rtl::ConnId e : cycles[0]) EXPECT_TRUE(n.connection(e).is_register());
+}
+
+TEST(Acyclic, Fig9HasTheFeedbackCycle) {
+  const auto n = make_fig9();
+  EXPECT_FALSE(is_acyclic(n));
+  EXPECT_EQ(find_cycles(n).size(), 1u);
+}
+
+TEST(Acyclic, RemovingCycleEdgeRestoresAcyclicity) {
+  const auto n = make_fig9();
+  EdgeSet removed{n.find_register("M2")};
+  EXPECT_TRUE(is_acyclic(n, removed));
+}
+
+TEST(Balance, Fig1IsUnbalanced) {
+  const auto n = make_fig1();
+  const auto res = check_balanced(n);
+  EXPECT_TRUE(res.acyclic);
+  EXPECT_FALSE(res.balanced);
+  ASSERT_TRUE(res.urfs.has_value());
+  // The witness is the F -> C pair with path lengths 0 and 1.
+  EXPECT_EQ(std::min(res.urfs->length_a, res.urfs->length_b), 0);
+  EXPECT_EQ(std::max(res.urfs->length_a, res.urfs->length_b), 1);
+}
+
+TEST(Balance, Fig2IsBalanced) {
+  EXPECT_TRUE(check_balanced(make_fig2()).balanced);
+}
+
+TEST(Balance, DatapathsAreBalanced) {
+  EXPECT_TRUE(check_balanced(make_c5a2m()).balanced);
+  EXPECT_TRUE(check_balanced(make_c3a2m()).balanced);
+  EXPECT_TRUE(check_balanced(make_c4a4m()).balanced);
+}
+
+TEST(Balance, Fig4IsUnbalanced) {
+  EXPECT_FALSE(check_balanced(make_fig4()).balanced);
+}
+
+TEST(Balance, PerConeDepthDifferencesAreStillBalanced) {
+  // The Figure 17 situation: one register reaches two cones with different
+  // sequential lengths. That is balanced (no URFS, acyclic) even though no
+  // global level assignment exists.
+  rtl::Netlist n("fig17ish");
+  const auto pi1 = n.add_input("x1", 4);
+  const auto pi2 = n.add_input("x2", 4);
+  const auto c1 = n.add_comb("C1", "not", 4);
+  const auto f = n.add_fanout("F", 4);
+  const auto c3 = n.add_comb("C3", "xor", 4);  // cone O1: sees R1 at d=1
+  const auto c4 = n.add_comb("C4", "xor", 4);  // cone O2: sees R1 at d=0
+  const auto po1 = n.add_output("O1", 4);
+  const auto po2 = n.add_output("O2", 4);
+  n.connect_reg(pi1, c1, "R1", 4);
+  n.connect_wire(c1, f, 4);
+  n.connect_reg(f, c3, "Ra", 4);  // delayed branch into O1's cone
+  n.connect_wire(f, c4, 4);       // direct branch into O2's cone
+  const auto f2 = n.add_fanout("F2", 4);
+  n.connect_reg(pi2, f2, "R2", 4);
+  n.connect_wire(f2, c3, 4);
+  n.connect_wire(f2, c4, 4);
+  n.connect_reg(c3, po1, "RO1", 4);
+  n.connect_reg(c4, po2, "RO2", 4);
+  n.validate();
+  const auto res = check_balanced(n);
+  EXPECT_TRUE(res.balanced) << (res.urfs ? "URFS found" : "cycle found");
+}
+
+TEST(Urfs, Fig3Witness) {
+  const auto n = make_fig3();
+  // Restrict to the acyclic part: drop the F/H cycle edges first.
+  EdgeSet removed{n.find_register("R5"), n.find_register("R6")};
+  const auto w = find_urfs(n, removed);
+  ASSERT_TRUE(w.has_value());
+  // FO1 reaches H via A-D (R4: one register) and via C-E-G (R8, R9: two).
+  EXPECT_EQ(std::abs(w->length_a - w->length_b), 1);
+}
+
+TEST(Urfs, NoneInBalancedDatapath) {
+  EXPECT_TRUE(find_all_urfs(make_c5a2m()).empty());
+  EXPECT_TRUE(find_all_urfs(make_c3a2m()).empty());
+  EXPECT_TRUE(find_all_urfs(make_c4a4m()).empty());
+}
+
+TEST(PathLength, UniqueLengths) {
+  const auto n = make_c3a2m();
+  const auto a1 = n.find_block("A1");
+  const auto a3 = n.find_block("A3");
+  const auto got = path_sequential_length(n, a1, a3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 4);  // RA1, RM1, RA2, RM2
+}
+
+TEST(PathLength, UnreachableIsNullopt) {
+  const auto n = make_c5a2m();
+  const auto a5 = n.find_block("A5");
+  const auto a1 = n.find_block("A1");
+  EXPECT_FALSE(path_sequential_length(n, a5, a1).has_value());
+}
+
+TEST(PathLength, ThrowsOnUrfsPair) {
+  const auto n = make_fig1();
+  const auto f = n.find_block("F");
+  const auto c = n.find_block("C");
+  EXPECT_THROW((void)path_sequential_length(n, f, c), DesignError);
+}
+
+TEST(Depth, SequentialDepths) {
+  EXPECT_EQ(sequential_depth(make_fig2()), 3);
+  EXPECT_EQ(sequential_depth(make_c5a2m()), 4);   // PI reg, RA, RM, o
+  EXPECT_EQ(sequential_depth(make_c3a2m()), 6);
+  EXPECT_EQ(sequential_depth(make_c4a4m()), 4);
+}
+
+TEST(Depth, ThrowsOnCycles) {
+  EXPECT_THROW(sequential_depth(make_fig3()), DesignError);
+}
+
+TEST(MaxDelay, CountsOnlyMarkedEdges) {
+  const auto n = make_c5a2m();
+  EdgeSet none;
+  EXPECT_EQ(max_marked_edges_on_path(n, none), 0);
+  // Boundary registers only: every PI-PO path crosses exactly 2.
+  EdgeSet boundary;
+  for (const auto& c : n.connections()) {
+    if (!c.is_register()) continue;
+    if (n.block(c.from).kind == rtl::BlockKind::kInput ||
+        n.block(c.to).kind == rtl::BlockKind::kOutput)
+      boundary.insert(c.id);
+  }
+  EXPECT_EQ(max_marked_edges_on_path(n, boundary), 2);
+  // All registers marked: equals the sequential depth.
+  EdgeSet all;
+  for (rtl::ConnId e : n.register_edges()) all.insert(e);
+  EXPECT_EQ(max_marked_edges_on_path(n, all), 4);
+}
+
+TEST(MaxDelay, WorksOnCyclicGraphs) {
+  const auto n = make_fig9();
+  EdgeSet all;
+  for (rtl::ConnId e : n.register_edges()) all.insert(e);
+  // Longest simple PI-PO path: P4, M4, M1, M2?, ... bounded by simple paths.
+  EXPECT_GE(max_marked_edges_on_path(n, all), 3);
+}
+
+TEST(Topo, OrderRespectsEdges) {
+  const auto n = make_c4a4m();
+  const auto order = topological_order(n);
+  std::vector<int> pos(n.block_count());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  for (const auto& c : n.connections())
+    EXPECT_LT(pos[static_cast<std::size_t>(c.from)],
+              pos[static_cast<std::size_t>(c.to)]);
+}
+
+TEST(Topo, ThrowsOnCycle) {
+  EXPECT_THROW(topological_order(make_fig3()), DesignError);
+}
+
+}  // namespace
+}  // namespace bibs::graph

@@ -1,0 +1,91 @@
+// Type-2 LFSR properties plus the full flow on a real ISCAS-85 benchmark
+// (c17) loaded from data/c17.bench: fault simulation, PODEM, and agreement
+// between the two.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "fault/atpg.hpp"
+#include "fault/simulator.hpp"
+#include "gate/bench_format.hpp"
+#include "lfsr/lfsr.hpp"
+
+namespace bibs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class Type2Period : public ::testing::TestWithParam<int> {};
+
+TEST_P(Type2Period, MaximalLength) {
+  const int deg = GetParam();
+  lfsr::Type2Lfsr l(lfsr::primitive_polynomial(deg));
+  EXPECT_EQ(l.measure_period(1ull << (deg + 1)), (1ull << deg) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, Type2Period,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12, 16));
+
+TEST(Type2Lfsr, VisitsEveryNonzeroState) {
+  lfsr::Type2Lfsr l(lfsr::primitive_polynomial(8));
+  std::set<std::string> seen;
+  for (int t = 0; t < 255; ++t) {
+    EXPECT_TRUE(seen.insert(l.state().to_string()).second);
+    EXPECT_TRUE(l.state().any());
+    l.step();
+  }
+  EXPECT_EQ(seen.size(), 255u);
+}
+
+TEST(Type2Lfsr, OutputSequenceHasMseqBalance) {
+  // One period of any maximal LFSR emits 2^(n-1) ones and 2^(n-1)-1 zeros.
+  lfsr::Type2Lfsr l(lfsr::primitive_polynomial(10));
+  int ones = 0;
+  for (int t = 0; t < 1023; ++t) ones += l.step();
+  EXPECT_EQ(ones, 512);
+}
+
+TEST(Iscas, C17LoadsAndValidates) {
+  const gate::Netlist nl = gate::parse_bench(read_file(std::string(BIBS_SOURCE_DIR) + "/data/c17.bench"));
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 6u);
+}
+
+TEST(Iscas, C17IsFullyTestable) {
+  // The canonical result: c17 has no redundant faults.
+  const gate::Netlist nl = gate::parse_bench(read_file(std::string(BIBS_SOURCE_DIR) + "/data/c17.bench"));
+  fault::FaultSimulator sim(nl, fault::FaultList::collapsed(nl));
+  EXPECT_DOUBLE_EQ(sim.run_exhaustive().coverage(), 1.0);
+}
+
+TEST(Iscas, C17PodemMatchesExhaustive) {
+  const gate::Netlist nl = gate::parse_bench(read_file(std::string(BIBS_SOURCE_DIR) + "/data/c17.bench"));
+  const fault::FaultList faults = fault::FaultList::full(nl);
+  fault::FaultSimulator sim(nl, faults);
+  const auto truth = sim.run_exhaustive();
+  fault::Podem atpg(nl);
+  const auto summary = atpg.classify(faults);
+  EXPECT_EQ(summary.aborted, 0u);
+  EXPECT_EQ(summary.detected, truth.detected_count());
+}
+
+TEST(Iscas, C17RandomPatternsSaturateFast) {
+  const gate::Netlist nl = gate::parse_bench(read_file(std::string(BIBS_SOURCE_DIR) + "/data/c17.bench"));
+  fault::FaultSimulator sim(nl, fault::FaultList::collapsed(nl));
+  Xoshiro256 rng(5);
+  const auto curve = sim.run_random(rng, 10000, 2000);
+  EXPECT_DOUBLE_EQ(curve.coverage(), 1.0);
+  EXPECT_LT(curve.patterns_for_fraction(1.0), 64);
+}
+
+}  // namespace
+}  // namespace bibs

@@ -1,0 +1,193 @@
+// Cross-module property tests: randomized circuits swept through the whole
+// flow, plus invariants that tie the subsystems together (Theorem 3 as a
+// cost inequality, reconfigurable-TPG exhaustiveness, format agreement).
+
+#include <gtest/gtest.h>
+
+#include "circuits/figures.hpp"
+#include "circuits/random.hpp"
+#include "common/prng.hpp"
+#include "core/designer.hpp"
+#include "core/report.hpp"
+#include "gate/bench_format.hpp"
+#include "gate/synth.hpp"
+#include "rtl/edif.hpp"
+#include "sim/testplan.hpp"
+#include "tpg/exhaustive.hpp"
+#include "tpg/optimize.hpp"
+
+namespace bibs {
+namespace {
+
+class RandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProperty, Theorem3CostInequality) {
+  // Corollary of Theorem 3: since every KA85 design is balanced BISTable
+  // and design_bibs minimizes over all balanced-BISTable sets (on circuits
+  // small enough for the exact search), cost(BIBS) <= cost(KA85).
+  circuits::RandomCircuitOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam()) * 48611;
+  opt.reg_probability = 1.0;
+  opt.comb_blocks = 5 + GetParam() % 4;
+  const rtl::Netlist n = circuits::make_random_circuit(opt);
+
+  const auto bibs = core::design_bibs(n);
+  core::DesignResult ka;
+  try {
+    ka = core::design_ka85(n);
+  } catch (const DesignError&) {
+    return;  // KA85 infeasible (unregistered multi-port input): vacuous
+  }
+  EXPECT_TRUE(core::check_bibs_testable(n, ka.bilbo).ok);
+  int bibs_ffs = 0, ka_ffs = 0;
+  for (auto e : bibs.bilbo) bibs_ffs += n.connection(e).reg->width;
+  for (auto e : ka.bilbo) ka_ffs += n.connection(e).reg->width;
+  EXPECT_LE(bibs_ffs, ka_ffs) << n.name();
+}
+
+TEST_P(RandomProperty, EdifAndLineFormatsAgree) {
+  circuits::RandomCircuitOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam()) * 15485863;
+  opt.reg_probability = 0.7;
+  const rtl::Netlist n = circuits::make_random_circuit(opt);
+  EXPECT_EQ(rtl::to_text(rtl::parse_edif(rtl::to_edif(n))),
+            rtl::to_text(rtl::parse_netlist(rtl::to_text(n))));
+}
+
+TEST_P(RandomProperty, ElaboratedNetlistSurvivesBenchRoundTrip) {
+  circuits::RandomCircuitOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam()) * 32452843;
+  opt.reg_probability = 1.0;
+  const rtl::Netlist n = circuits::make_random_circuit(opt);
+  const auto elab = gate::elaborate(n);
+  const gate::Netlist back = gate::parse_bench(gate::to_bench(elab.netlist));
+  EXPECT_EQ(back.gate_count(), elab.netlist.gate_count());
+  EXPECT_EQ(back.dffs().size(), elab.netlist.dffs().size());
+}
+
+TEST_P(RandomProperty, TestPlanSignaturesAreDeterministic) {
+  circuits::RandomCircuitOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam()) * 2750159;
+  opt.reg_probability = 1.0;
+  opt.comb_blocks = 4;
+  const rtl::Netlist n = circuits::make_random_circuit(opt);
+  const auto elab = gate::elaborate(n);
+  const auto design = core::design_bibs(n);
+  const auto a = sim::make_test_plan(n, elab, design, 512);
+  const auto b = sim::make_test_plan(n, elab, design, 512);
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  for (std::size_t i = 0; i < a.kernels.size(); ++i)
+    EXPECT_EQ(a.kernels[i].golden_signatures, b.kernels[i].golden_signatures);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProperty, ::testing::Range(1, 9));
+
+TEST(ReconfigurableTpg, EverySessionIsExhaustiveForItsCone) {
+  tpg::GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}, {"R3", 3}};
+  s.cones = {{"O1", {{0, 2}, {1, 0}}},
+             {"O2", {{1, 1}, {2, 0}}},
+             {"O3", {{0, 0}, {2, 2}}}};
+  const tpg::ReconfigurableTpg r = tpg::reconfigurable_tpg(s);
+  ASSERT_EQ(r.sessions.size(), 3u);
+  for (const tpg::TpgDesign& d : r.sessions) {
+    const auto rep = tpg::check_exhaustive_sim(d);
+    EXPECT_TRUE(rep.all_exhaustive);
+  }
+  // Total reconfigurable time beats the monolithic TPG when cone widths are
+  // small relative to the union.
+  const tpg::TpgDesign mono = tpg::mc_tpg(s);
+  EXPECT_LT(r.total_test_time(), mono.test_time(2));
+}
+
+TEST(MinTestSignals, ColouringIsAlwaysConflictFree) {
+  Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    tpg::GeneralizedStructure s;
+    const int nregs = 3 + static_cast<int>(rng.next_below(4));
+    for (int i = 0; i < nregs; ++i)
+      s.registers.push_back(
+          tpg::InputRegister{"R" + std::to_string(i), 2});
+    const int ncones = 1 + static_cast<int>(rng.next_below(4));
+    for (int c = 0; c < ncones; ++c) {
+      tpg::Cone cone;
+      cone.name = "O" + std::to_string(c);
+      for (int i = 0; i < nregs; ++i)
+        if (rng.next_below(2)) cone.deps.push_back(tpg::ConeDep{i, 0});
+      if (cone.deps.empty()) cone.deps.push_back(tpg::ConeDep{0, 0});
+      s.cones.push_back(cone);
+    }
+    const auto r = tpg::min_test_signals(s);
+    EXPECT_GE(r.signals, 1);
+    EXPECT_LE(r.signals, nregs);
+    // No cone may depend on two registers sharing a signal.
+    for (const tpg::Cone& c : s.cones)
+      for (std::size_t a = 0; a < c.deps.size(); ++a)
+        for (std::size_t b = a + 1; b < c.deps.size(); ++b)
+          EXPECT_NE(r.signal_of_reg[static_cast<std::size_t>(c.deps[a].reg)],
+                    r.signal_of_reg[static_cast<std::size_t>(c.deps[b].reg)])
+              << "trial " << trial;
+  }
+}
+
+TEST(Describe, Example4ShowsStageL0) {
+  auto s = tpg::GeneralizedStructure::single_cone({{"R1", 4}, {"R2", 4}},
+                                                  {0, 5});
+  const std::string pic = tpg::sc_tpg(s).describe();
+  EXPECT_NE(pic.find("[L0]"), std::string::npos);
+  EXPECT_NE(pic.find("R2.1"), std::string::npos);
+}
+
+TEST(KernelStructure, ThrowsWhenOutputHasNoInputDependence) {
+  // Two disconnected pipelines converted as one "kernel" cannot happen via
+  // extract_kernels (components are connected), so drive the error path
+  // directly with a hand-made kernel.
+  const auto n = circuits::make_fig2();
+  const auto res = core::design_bibs(n);
+  core::Kernel bogus;
+  bogus.blocks = {};  // no blocks: output register unreachable
+  bogus.input_regs = {n.find_register("R1")};
+  bogus.output_regs = {n.find_register("R1")};  // same edge both roles
+  // path from R1's head to R1's tail does not exist in the kernel subgraph.
+  EXPECT_THROW(core::kernel_structure(n, res.bilbo, bogus), Error);
+}
+
+TEST(Graph, MultipleCyclesEnumerated) {
+  rtl::Netlist n("twocycles");
+  const auto pi = n.add_input("x", 2);
+  const auto a = n.add_comb("A", "xor", 2);
+  const auto b = n.add_comb("B", "not", 2);
+  const auto c = n.add_comb("C", "not", 2);
+  const auto po = n.add_output("y", 2);
+  n.connect_reg(pi, a, "R1", 2);
+  n.connect_reg(a, b, "Rab", 2);
+  n.connect_reg(b, a, "Rba", 2);  // cycle 1: A-B
+  n.connect_reg(a, c, "Rac", 2);
+  n.connect_reg(c, a, "Rca", 2);  // cycle 2: A-C
+  n.connect_reg(a, po, "RO", 2);
+  n.validate();
+  EXPECT_EQ(graph::find_cycles(n).size(), 2u);
+  EXPECT_FALSE(graph::is_acyclic(n));
+}
+
+TEST(Schedule, TestTimeValidatesVectorLength) {
+  core::Schedule s;
+  s.session_of = {0, 1};
+  s.sessions = 2;
+  EXPECT_THROW(core::schedule_test_time(s, {1}), InternalError);
+  EXPECT_EQ(core::schedule_test_time(s, {5, 7}), 12);
+}
+
+TEST(Evaluate, KaDesignOnFig12aConvertsInternalRegisters) {
+  const auto n = circuits::make_fig12a();
+  const auto ka = core::design_ka85(n);
+  // C3 has three input ports: Rb, Rc and R3 must all be BILBOs.
+  EXPECT_TRUE(ka.bilbo.count(n.find_register("Rb")));
+  EXPECT_TRUE(ka.bilbo.count(n.find_register("Rc")));
+  EXPECT_TRUE(ka.bilbo.count(n.find_register("R3")));
+  const auto bibs = core::design_bibs(n);
+  EXPECT_LT(bibs.bilbo.size(), ka.bilbo.size());
+}
+
+}  // namespace
+}  // namespace bibs

@@ -1,0 +1,228 @@
+// Tests for the RTL netlist model, validation rules, and the text parser.
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "rtl/netlist.hpp"
+
+namespace bibs::rtl {
+namespace {
+
+Netlist tiny() {
+  Netlist n("tiny");
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId c = n.add_comb("C", "not", 4);
+  const BlockId po = n.add_output("y", 4);
+  n.connect_reg(pi, c, "R1", 4);
+  n.connect_reg(c, po, "R2", 4);
+  return n;
+}
+
+TEST(Netlist, BasicConstruction) {
+  Netlist n = tiny();
+  EXPECT_EQ(n.block_count(), 3u);
+  EXPECT_EQ(n.connection_count(), 2u);
+  EXPECT_EQ(n.register_edges().size(), 2u);
+  EXPECT_EQ(n.total_register_bits(), 8);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Netlist, FindByName) {
+  Netlist n = tiny();
+  EXPECT_NE(n.find_block("C"), kNoBlock);
+  EXPECT_EQ(n.find_block("missing"), kNoBlock);
+  EXPECT_NE(n.find_register("R1"), -1);
+  EXPECT_EQ(n.find_register("R9"), -1);
+}
+
+TEST(Netlist, DuplicateBlockNameRejected) {
+  Netlist n;
+  n.add_input("x", 4);
+  EXPECT_THROW(n.add_comb("x", "not", 4), ParseError);
+}
+
+TEST(Netlist, DuplicateRegisterNameRejected) {
+  Netlist n;
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId c = n.add_comb("C", "not", 4);
+  const BlockId po = n.add_output("y", 4);
+  n.connect_reg(pi, c, "R", 4);
+  EXPECT_THROW(n.connect_reg(c, po, "R", 4), ParseError);
+}
+
+TEST(Netlist, ZeroWidthRejected) {
+  Netlist n;
+  EXPECT_THROW(n.add_input("x", 0), ParseError);
+}
+
+TEST(Netlist, ValidateRejectsInputWithFanin) {
+  Netlist n;
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId pi2 = n.add_input("z", 4);
+  n.connect_wire(pi2, pi, 4);
+  EXPECT_THROW(n.validate(), ParseError);
+}
+
+TEST(Netlist, ValidateRejectsDanglingOutput) {
+  Netlist n;
+  n.add_input("x", 4);
+  n.add_output("y", 4);
+  EXPECT_THROW(n.validate(), ParseError);
+}
+
+TEST(Netlist, ValidateRejectsFanoutWithOneOutput) {
+  Netlist n;
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId f = n.add_fanout("F", 4);
+  const BlockId po = n.add_output("y", 4);
+  n.connect_wire(pi, f, 4);
+  n.connect_reg(f, po, "R", 4);
+  EXPECT_THROW(n.validate(), ParseError);
+}
+
+TEST(Netlist, ValidateRejectsCombinationalCycle) {
+  Netlist n;
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId a = n.add_comb("A", "xor", 4);
+  const BlockId b = n.add_comb("B", "not", 4);
+  const BlockId po = n.add_output("y", 4);
+  n.connect_reg(pi, a, "R", 4);
+  n.connect_wire(a, b, 4);
+  n.connect_wire(b, a, 4);  // combinational loop
+  n.connect_reg(a, po, "RO", 4);
+  EXPECT_THROW(n.validate(), ParseError);
+}
+
+TEST(Netlist, RegisterCycleIsAllowedByValidate) {
+  Netlist n;
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId a = n.add_comb("A", "xor", 4);
+  const BlockId b = n.add_comb("B", "not", 4);
+  const BlockId po = n.add_output("y", 4);
+  n.connect_reg(pi, a, "R", 4);
+  n.connect_wire(a, b, 4);
+  n.connect_reg(b, a, "RF", 4);  // sequential feedback: fine
+  n.connect_reg(a, po, "RO", 4);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Netlist, InsertRegisterOnWire) {
+  Netlist n;
+  const BlockId pi = n.add_input("x", 4);
+  const BlockId c = n.add_comb("C", "not", 4);
+  const BlockId po = n.add_output("y", 4);
+  const ConnId w = n.connect_wire(pi, c, 4);
+  n.connect_reg(c, po, "RO", 4);
+  EXPECT_FALSE(n.connection(w).is_register());
+  n.insert_register_on_wire(w, "x_br");
+  EXPECT_TRUE(n.connection(w).is_register());
+  EXPECT_NE(n.find_register("x_br"), -1);
+}
+
+TEST(Netlist, FaninOrderIsPortOrder) {
+  Netlist n;
+  const BlockId p1 = n.add_input("p", 4);
+  const BlockId q1 = n.add_input("q", 4);
+  const BlockId c = n.add_comb("C", "sub", 4);
+  const BlockId po = n.add_output("y", 4);
+  n.connect_reg(p1, c, "Rp", 4);
+  n.connect_reg(q1, c, "Rq", 4);
+  n.connect_reg(c, po, "RO", 4);
+  const auto& in = n.fanin(c);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(n.connection(in[0]).reg->name, "Rp");
+  EXPECT_EQ(n.connection(in[1]).reg->name, "Rq");
+}
+
+TEST(Parser, ParsesMinimalCircuit) {
+  const std::string text = R"(
+# comment line
+circuit demo
+input x 4
+comb C not 4
+output y 4
+reg x C R1 4
+reg C y R2 4
+)";
+  Netlist n = parse_netlist(text);
+  EXPECT_EQ(n.name(), "demo");
+  EXPECT_EQ(n.block_count(), 3u);
+  EXPECT_EQ(n.register_edges().size(), 2u);
+}
+
+TEST(Parser, AllBlockKinds) {
+  const std::string text = R"(circuit kinds
+input x 8
+fanout F 8
+comb A not 8
+vacuous V 8
+comb B add 8
+output y 8
+wire x F 8
+wire F A 8
+wire F B 8
+reg A V RA 8
+reg V B RV 8
+reg B y RO 8
+)";
+  Netlist n = parse_netlist(text);
+  EXPECT_EQ(n.block(n.find_block("F")).kind, BlockKind::kFanout);
+  EXPECT_EQ(n.block(n.find_block("V")).kind, BlockKind::kVacuous);
+  EXPECT_EQ(n.block(n.find_block("B")).op, "add");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("circuit t\ninput x 4\nbogus y 4\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownBlockReference) {
+  EXPECT_THROW(parse_netlist("circuit t\ninput x 4\nwire x nosuch 4\n"),
+               ParseError);
+}
+
+TEST(Parser, RejectsBadWidth) {
+  EXPECT_THROW(parse_netlist("circuit t\ninput x nope\n"), ParseError);
+  EXPECT_THROW(parse_netlist("circuit t\ninput x -2\n"), ParseError);
+}
+
+TEST(Parser, RejectsWrongArity) {
+  EXPECT_THROW(parse_netlist("circuit t\ninput x\n"), ParseError);
+}
+
+TEST(Parser, RejectsDuplicateCircuitStatement) {
+  EXPECT_THROW(parse_netlist("circuit a\ncircuit b\n"), ParseError);
+}
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, TextSerializationIsStable) {
+  Netlist orig;
+  switch (GetParam()) {
+    case 0: orig = circuits::make_fig1(); break;
+    case 1: orig = circuits::make_fig2(); break;
+    case 2: orig = circuits::make_fig3(); break;
+    case 3: orig = circuits::make_fig4(); break;
+    case 4: orig = circuits::make_fig9(); break;
+    case 5: orig = circuits::make_c5a2m(); break;
+    case 6: orig = circuits::make_c3a2m(); break;
+    case 7: orig = circuits::make_c4a4m(); break;
+    default: orig = circuits::make_fir_datapath(5); break;
+  }
+  const std::string text = to_text(orig);
+  Netlist back = parse_netlist(text);
+  EXPECT_EQ(to_text(back), text);
+  EXPECT_EQ(back.block_count(), orig.block_count());
+  EXPECT_EQ(back.connection_count(), orig.connection_count());
+  EXPECT_EQ(back.total_register_bits(), orig.total_register_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, RoundTrip, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace bibs::rtl

@@ -1,0 +1,426 @@
+// Tests for the SC_TPG / MC_TPG procedures, the functional-exhaustiveness
+// checkers, register-order optimization, minimal test signals, and the
+// reconfigurable TPG — each of the paper's Examples 2-8 appears here as an
+// executable assertion.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "tpg/design.hpp"
+#include "tpg/exhaustive.hpp"
+#include "tpg/optimize.hpp"
+
+namespace bibs::tpg {
+namespace {
+
+GeneralizedStructure regs_with_depths(const std::vector<int>& widths,
+                                      const std::vector<int>& depths) {
+  std::vector<InputRegister> regs;
+  for (std::size_t i = 0; i < widths.size(); ++i)
+    regs.push_back({"R" + std::to_string(i + 1), widths[i]});
+  return GeneralizedStructure::single_cone(std::move(regs), depths);
+}
+
+// ---------------------------------------------------------------- Example 2
+
+TEST(ScTpg, Example2_DescendingDepths) {
+  // Figure 13: three 4-bit registers, d = (2, 1, 0): a 12-stage LFSR with
+  // 2 extra flip-flops; test time 2^12 - 1 + 2.
+  const auto s = regs_with_depths({4, 4, 4}, {2, 1, 0});
+  const TpgDesign d = sc_tpg(s);
+  EXPECT_EQ(d.lfsr_stages, 12);
+  EXPECT_EQ(d.min_label, 1);
+  EXPECT_EQ(d.extra_ffs(), 2);
+  EXPECT_EQ(d.physical_ffs(), 14);
+  EXPECT_EQ(d.pattern_count(), 4095u);
+  EXPECT_EQ(d.test_time(2), 4097u);
+  // The paper's degree-12 polynomial.
+  EXPECT_EQ(d.poly, lfsr::Gf2Poly::from_exponents({12, 7, 4, 3, 0}));
+  // Register labels: R1 = 1..4, separator 5, R2 = 6..9, separator 10,
+  // R3 = 11..14.
+  EXPECT_EQ(d.cell_label[0], (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(d.cell_label[1], (std::vector<int>{6, 7, 8, 9}));
+  EXPECT_EQ(d.cell_label[2], (std::vector<int>{11, 12, 13, 14}));
+}
+
+// ---------------------------------------------------------------- Example 3
+
+TEST(ScTpg, Example3_NonDescendingDepths) {
+  // Figure 15: d = (1, 2, 0). R2 shares stage L4 with R1's last cell; R2 and
+  // R3 are separated by two flip-flops.
+  const auto s = regs_with_depths({4, 4, 4}, {1, 2, 0});
+  const TpgDesign d = sc_tpg(s);
+  EXPECT_EQ(d.lfsr_stages, 12);
+  EXPECT_EQ(d.cell_label[0], (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(d.cell_label[1], (std::vector<int>{4, 5, 6, 7}));  // shares L4
+  EXPECT_EQ(d.cell_label[2], (std::vector<int>{10, 11, 12, 13}));
+  // Physical FFs: 12 register cells + 2 separators = 14; the shared signal
+  // L4 still uses two physical flip-flops (both carry live data in normal
+  // mode, as the paper notes).
+  EXPECT_EQ(d.physical_ffs(), 14);
+}
+
+// ---------------------------------------------------------------- Example 4
+
+TEST(ScTpg, Example4_LargeNegativeDisplacement) {
+  // Figure 16: two 4-bit registers with a displacement of -5; the LFSR's
+  // first stage becomes L0 and the registers share only 3 stages.
+  const auto s = regs_with_depths({4, 4}, {0, 5});
+  const TpgDesign d = sc_tpg(s);
+  EXPECT_EQ(d.lfsr_stages, 8);
+  EXPECT_EQ(d.min_label, 0);
+  EXPECT_EQ(d.cell_label[0], (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(d.cell_label[1], (std::vector<int>{0, 1, 2, 3}));
+  // Shared LFSR stages: L1, L2, L3.
+  int shared = 0;
+  for (int l : d.cell_label[0])
+    for (int l2 : d.cell_label[1])
+      if (l == l2) ++shared;
+  EXPECT_EQ(shared, 3);
+}
+
+// ---------------------------------------------------------------- Example 5
+
+TEST(McTpg, Example5_TwoConeDisplacement) {
+  // Figure 17: R1, R2 (4 bits each); cone O1 sees d = (2, 0), cone O2 sees
+  // d = (1, 0). Displacement +2, and a 9-stage LFSR is needed even though
+  // the maximal cone width is 8.
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}};
+  s.cones = {{"O1", {{0, 2}, {1, 0}}}, {"O2", {{0, 1}, {1, 0}}}};
+  const TpgDesign d = mc_tpg(s);
+  EXPECT_EQ(d.cell_label[0], (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(d.cell_label[1], (std::vector<int>{7, 8, 9, 10}));  // +2 gap
+  EXPECT_EQ(d.lfsr_stages, 9);
+  EXPECT_EQ(s.max_cone_width(), 8);
+}
+
+// ---------------------------------------------------------------- Example 6
+
+TEST(McTpg, Example6_ElevenStageLfsr) {
+  // Figure 19: O1 sees (R1 d=2, R2 d=0); O2 sees (R1 d=0, R2 d=1).
+  // Physical span of O2 is 10, logical span 11.
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}};
+  s.cones = {{"O1", {{0, 2}, {1, 0}}}, {"O2", {{0, 0}, {1, 1}}}};
+  const TpgDesign d = mc_tpg(s);
+  EXPECT_EQ(d.lfsr_stages, 11);
+  // Testing the two cones separately is much cheaper: ~2 * 2^8 << 2^11.
+  const ReconfigurableTpg r = reconfigurable_tpg(s);
+  ASSERT_EQ(r.sessions.size(), 2u);
+  EXPECT_EQ(r.sessions[0].lfsr_stages, 8);
+  EXPECT_EQ(r.sessions[1].lfsr_stages, 8);
+  EXPECT_LT(r.total_test_time(), d.test_time(2));
+}
+
+// ---------------------------------------------------------------- Example 7
+
+GeneralizedStructure example7() {
+  // Figure 21: three 4-bit registers, three cones:
+  //   O1 = {R1 d=2, R2 d=0}, O2 = {R1 d=0, R3 d=1}, O3 = {R2 d=1, R3 d=0}.
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}, {"R3", 4}};
+  s.cones = {{"O1", {{0, 2}, {1, 0}}},
+             {"O2", {{0, 0}, {2, 1}}},
+             {"O3", {{1, 1}, {2, 0}}}};
+  return s;
+}
+
+TEST(McTpg, Example7_OriginalOrderNeeds16) {
+  const TpgDesign d = mc_tpg(example7());
+  EXPECT_EQ(d.lfsr_stages, 16);
+}
+
+TEST(McTpg, Example7_PermutedOrderNeeds8) {
+  // Order (R1, R3, R2) reduces the LFSR to 8 stages, the 2^w lower bound.
+  const GeneralizedStructure p = example7().permuted({0, 2, 1});
+  const TpgDesign d = mc_tpg(p);
+  EXPECT_EQ(d.lfsr_stages, 8);
+}
+
+TEST(Optimize, Example7_SearchFindsTheLowerBound) {
+  const OrderResult r = optimize_register_order(example7());
+  EXPECT_EQ(r.design.lfsr_stages, 8);
+  EXPECT_TRUE(r.optimal);
+  // Test time drops from ~2^16 to ~2^8.
+  EXPECT_EQ(r.design.pattern_count(), 255u);
+}
+
+// ---------------------------------------------------------------- Example 8
+
+TEST(MinTestSignals, Example8_NeedsThreeSignals) {
+  // The dependency matrix of Figure 21 is a triangle: every pair of
+  // registers shares a cone, so 3 test signals (12 LFSR stages) are needed —
+  // strictly worse than the 8 stages MC_TPG + permutation achieves, because
+  // the signal procedure cannot exploit sequential-length information.
+  const TestSignalResult r = min_test_signals(example7());
+  EXPECT_EQ(r.signals, 3);
+  EXPECT_EQ(r.lfsr_stages, 12);
+  const OrderResult best = optimize_register_order(example7());
+  EXPECT_LT(best.design.lfsr_stages, r.lfsr_stages);
+}
+
+TEST(MinTestSignals, DisjointConesShareSignals) {
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}, {"R3", 4}, {"R4", 4}};
+  s.cones = {{"O1", {{0, 0}, {1, 0}}}, {"O2", {{2, 0}, {3, 0}}}};
+  const TestSignalResult r = min_test_signals(s);
+  EXPECT_EQ(r.signals, 2);
+  EXPECT_EQ(r.lfsr_stages, 8);
+  // R1/R3 may share, R1/R2 may not.
+  EXPECT_NE(r.signal_of_reg[0], r.signal_of_reg[1]);
+  EXPECT_NE(r.signal_of_reg[2], r.signal_of_reg[3]);
+}
+
+// --------------------------------------------------- exhaustiveness checks
+
+TEST(Exhaustive, SimConfirmsTheorem4OnExample2) {
+  const auto s = regs_with_depths({4, 4, 4}, {2, 1, 0});
+  const auto rep = check_exhaustive_sim(sc_tpg(s));
+  ASSERT_EQ(rep.cones.size(), 1u);
+  EXPECT_TRUE(rep.all_exhaustive);
+  EXPECT_EQ(rep.cones[0].patterns, (1u << 12) - 1);
+}
+
+TEST(Exhaustive, SimConfirmsExample3) {
+  EXPECT_TRUE(
+      check_exhaustive_sim(sc_tpg(regs_with_depths({4, 4, 4}, {1, 2, 0})))
+          .all_exhaustive);
+}
+
+TEST(Exhaustive, SimConfirmsExample4) {
+  EXPECT_TRUE(check_exhaustive_sim(sc_tpg(regs_with_depths({4, 4}, {0, 5})))
+                  .all_exhaustive);
+}
+
+TEST(Exhaustive, SimConfirmsExample5BothCones) {
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}};
+  s.cones = {{"O1", {{0, 2}, {1, 0}}}, {"O2", {{0, 1}, {1, 0}}}};
+  const auto rep = check_exhaustive_sim(mc_tpg(s));
+  ASSERT_EQ(rep.cones.size(), 2u);
+  EXPECT_TRUE(rep.cones[0].exhaustive);
+  EXPECT_TRUE(rep.cones[1].exhaustive);
+}
+
+TEST(Exhaustive, SimConfirmsExample7PermutedDesign) {
+  const GeneralizedStructure p = example7().permuted({0, 2, 1});
+  const auto rep = check_exhaustive_sim(mc_tpg(p));
+  EXPECT_TRUE(rep.all_exhaustive);
+  for (const auto& c : rep.cones) EXPECT_EQ(c.patterns, 255u);
+}
+
+TEST(Exhaustive, NaiveConcatenationFailsWhereTpgSucceeds) {
+  // The motivating example of Section 4: concatenating the registers into
+  // one LFSR *without* displacement compensation does not exhaust the cone
+  // inputs when sequential lengths differ. Model it as a TPG whose labels
+  // ignore the depths.
+  const auto s = regs_with_depths({4, 4, 4}, {2, 1, 0});
+  TpgDesign naive;
+  naive.structure = s;
+  naive.min_label = 1;
+  naive.lfsr_stages = 12;
+  naive.poly = lfsr::primitive_polynomial(12);
+  naive.cell_label = {{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}};
+  for (int i = 0; i < 12; ++i) naive.slots.push_back({i + 1, i / 4, i % 4});
+  EXPECT_FALSE(check_exhaustive_sim(naive).all_exhaustive);
+  EXPECT_FALSE(check_exhaustive_rank(naive).all_exhaustive);
+}
+
+TEST(Exhaustive, RankAgreesWithSimOnPaperExamples) {
+  std::vector<TpgDesign> designs;
+  designs.push_back(sc_tpg(regs_with_depths({4, 4, 4}, {2, 1, 0})));
+  designs.push_back(sc_tpg(regs_with_depths({4, 4, 4}, {1, 2, 0})));
+  designs.push_back(sc_tpg(regs_with_depths({4, 4}, {0, 5})));
+  designs.push_back(mc_tpg(example7()));
+  designs.push_back(mc_tpg(example7().permuted({0, 2, 1})));
+  for (const TpgDesign& d : designs) {
+    if (d.lfsr_stages > 20) continue;
+    const auto sim_rep = check_exhaustive_sim(d);
+    const auto rank_rep = check_exhaustive_rank(d);
+    ASSERT_EQ(sim_rep.cones.size(), rank_rep.cones.size());
+    for (std::size_t i = 0; i < sim_rep.cones.size(); ++i)
+      EXPECT_EQ(sim_rep.cones[i].exhaustive, rank_rep.cones[i].exhaustive)
+          << "cone " << i;
+  }
+}
+
+TEST(Exhaustive, RankMatchesSimOnRandomStructures) {
+  // Property sweep: random widths/depths, single and double cone. The
+  // algebraic check must agree with brute-force simulation everywhere.
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nregs = 2 + static_cast<int>(rng.next_below(2));
+    GeneralizedStructure s;
+    for (int i = 0; i < nregs; ++i)
+      s.registers.push_back(
+          {"R" + std::to_string(i),
+           2 + static_cast<int>(rng.next_below(3))});
+    const int ncones = 1 + static_cast<int>(rng.next_below(2));
+    for (int c = 0; c < ncones; ++c) {
+      Cone cone;
+      cone.name = "O" + std::to_string(c);
+      for (int i = 0; i < nregs; ++i)
+        if (c == 0 || rng.next_below(2))
+          cone.deps.push_back(
+              {i, static_cast<int>(rng.next_below(4))});
+      if (cone.deps.empty()) cone.deps.push_back({0, 0});
+      s.cones.push_back(cone);
+    }
+    TpgDesign d = mc_tpg(s);
+    if (d.lfsr_stages > 18) continue;
+    const auto sim_rep = check_exhaustive_sim(d);
+    const auto rank_rep = check_exhaustive_rank(d);
+    EXPECT_TRUE(sim_rep.all_exhaustive) << "trial " << trial;
+    for (std::size_t i = 0; i < sim_rep.cones.size(); ++i)
+      EXPECT_EQ(sim_rep.cones[i].exhaustive, rank_rep.cones[i].exhaustive)
+          << "trial " << trial << " cone " << i;
+  }
+}
+
+TEST(Exhaustive, CompleteLfsrCoversAllZero) {
+  const auto s = regs_with_depths({3, 3}, {1, 0});
+  const TpgDesign d = sc_tpg(s);
+  const auto rep = check_exhaustive_sim(d, /*complete_lfsr=*/true);
+  ASSERT_EQ(rep.cones.size(), 1u);
+  EXPECT_EQ(rep.cones[0].patterns, 1u << 6);  // includes the all-0 pattern
+  EXPECT_TRUE(rep.all_exhaustive);
+}
+
+TEST(Exhaustive, SimRejectsHugeLfsrs) {
+  const auto s = regs_with_depths({16, 16}, {1, 0});
+  EXPECT_THROW((void)check_exhaustive_sim(sc_tpg(s)), DesignError);
+  // The rank check handles the same design fine.
+  EXPECT_TRUE(check_exhaustive_rank(sc_tpg(s)).all_exhaustive);
+}
+
+TEST(Exhaustive, RankHandlesDegree32Designs) {
+  const auto s = regs_with_depths({8, 8, 8, 8}, {3, 2, 1, 0});
+  const TpgDesign d = sc_tpg(s);
+  EXPECT_EQ(d.lfsr_stages, 32);
+  EXPECT_TRUE(check_exhaustive_rank(d).all_exhaustive);
+}
+
+// ------------------------------------------------------------- procedures
+
+TEST(ScTpg, RejectsMultiConeStructures) {
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}, {"R2", 4}};
+  s.cones = {{"O1", {{0, 0}}}, {"O2", {{1, 0}}}};
+  EXPECT_THROW(sc_tpg(s), DesignError);
+}
+
+TEST(ScTpg, EqualDepthsNeedNoExtraFfs) {
+  // The balanced-filter case: all registers at the same depth concatenate
+  // directly into one LFSR.
+  const auto s = regs_with_depths({8, 8, 8}, {4, 4, 4});
+  const TpgDesign d = sc_tpg(s);
+  EXPECT_EQ(d.extra_ffs(), 0);
+  EXPECT_EQ(d.lfsr_stages, 24);
+}
+
+TEST(ScTpg, SingleRegisterDegenerate) {
+  const auto s = regs_with_depths({6}, {3});
+  const TpgDesign d = sc_tpg(s);
+  EXPECT_EQ(d.lfsr_stages, 6);
+  EXPECT_EQ(d.extra_ffs(), 0);
+  EXPECT_TRUE(check_exhaustive_sim(d).all_exhaustive);
+}
+
+TEST(ScTpg, ExtraFfsEqualDepthSpreadForDescendingOrder) {
+  // For descending d, extra FFs = d_1 - d_n (the paper's formula).
+  Xoshiro256 rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(3));
+    std::vector<int> widths, depths;
+    for (int i = 0; i < n; ++i)
+      widths.push_back(1 + static_cast<int>(rng.next_below(4)));
+    depths.resize(static_cast<std::size_t>(n));
+    int cur = static_cast<int>(rng.next_below(3));
+    for (int i = n - 1; i >= 0; --i) {
+      depths[static_cast<std::size_t>(i)] = cur;
+      cur += static_cast<int>(rng.next_below(3));
+    }
+    const auto s = regs_with_depths(widths, depths);
+    const TpgDesign d = sc_tpg(s);
+    EXPECT_EQ(d.extra_ffs(), depths.front() - depths.back()) << trial;
+    EXPECT_EQ(d.lfsr_stages, std::accumulate(widths.begin(), widths.end(), 0));
+  }
+}
+
+TEST(McTpg, TheoremSevenSpanIsSufficientEverywhere) {
+  // Property: for every random structure, every cone's offsets fit within
+  // the chosen LFSR degree (u_p - l_1 + 1 + d-span <= M).
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int nregs = 2 + static_cast<int>(rng.next_below(3));
+    GeneralizedStructure s;
+    for (int i = 0; i < nregs; ++i)
+      s.registers.push_back(
+          {"R" + std::to_string(i), 1 + static_cast<int>(rng.next_below(4))});
+    const int ncones = 1 + static_cast<int>(rng.next_below(3));
+    for (int c = 0; c < ncones; ++c) {
+      Cone cone;
+      cone.name = "O" + std::to_string(c);
+      for (int i = 0; i < nregs; ++i)
+        if (rng.next_below(2))
+          cone.deps.push_back({i, static_cast<int>(rng.next_below(5))});
+      if (cone.deps.empty())
+        cone.deps.push_back({static_cast<int>(rng.next_below(
+                                 static_cast<std::uint64_t>(nregs))),
+                             0});
+      s.cones.push_back(cone);
+    }
+    const TpgDesign d = mc_tpg(s);
+    EXPECT_TRUE(check_exhaustive_rank(d).all_exhaustive) << "trial " << trial;
+  }
+}
+
+TEST(Optimize, RejectsTooManyRegisters) {
+  GeneralizedStructure s;
+  Cone cone{"O", {}};
+  for (int i = 0; i < 10; ++i) {
+    s.registers.push_back({"R" + std::to_string(i), 2});
+    cone.deps.push_back({i, 0});
+  }
+  s.cones.push_back(cone);
+  EXPECT_THROW(optimize_register_order(s), DesignError);
+}
+
+TEST(Structure, PermutedPreservesSemantics) {
+  const GeneralizedStructure s = example7();
+  const GeneralizedStructure p = s.permuted({2, 0, 1});
+  EXPECT_EQ(p.registers[0].name, "R3");
+  EXPECT_EQ(p.registers[1].name, "R1");
+  // O2 = {R1 d=0, R3 d=1} must become {new0(R3) d=1, new1(R1) d=0}.
+  const Cone& o2 = p.cones[1];
+  ASSERT_EQ(o2.deps.size(), 2u);
+  EXPECT_EQ(o2.deps[0].reg, 0);
+  EXPECT_EQ(o2.deps[0].d, 1);
+  EXPECT_EQ(o2.deps[1].reg, 1);
+  EXPECT_EQ(o2.deps[1].d, 0);
+}
+
+TEST(Structure, ValidationCatchesBadDeps) {
+  GeneralizedStructure s;
+  s.registers = {{"R1", 4}};
+  s.cones = {{"O", {{2, 0}}}};
+  EXPECT_THROW(s.validate(), DesignError);
+  s.cones = {{"O", {{0, -1}}}};
+  EXPECT_THROW(s.validate(), DesignError);
+  s.cones = {{"O", {}}};
+  EXPECT_THROW(s.validate(), DesignError);
+}
+
+TEST(Design, DescribeRendersLabels) {
+  const TpgDesign d = sc_tpg(regs_with_depths({4, 4, 4}, {1, 2, 0}));
+  const std::string pic = d.describe();
+  EXPECT_NE(pic.find("R1.1"), std::string::npos);
+  EXPECT_NE(pic.find("[L4]"), std::string::npos);
+  EXPECT_NE(pic.find("degree 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bibs::tpg

@@ -1,0 +1,106 @@
+// Whole-zoo sweep: every circuit in the zoo, at several widths, through the
+// complete flow — design, kernel extraction, TPG construction, algebraic
+// exhaustiveness certificate, elaboration, and test-plan synthesis. These
+// are the integration tests a release would gate on.
+
+#include <gtest/gtest.h>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "core/designer.hpp"
+#include "core/report.hpp"
+#include "gate/synth.hpp"
+#include "sim/testplan.hpp"
+#include "tpg/exhaustive.hpp"
+
+namespace bibs {
+namespace {
+
+struct ZooCase {
+  std::string name;
+  rtl::Netlist n;
+  bool elaboratable;
+};
+
+std::vector<ZooCase> zoo(int width) {
+  std::vector<ZooCase> out;
+  out.push_back({"fig2", circuits::make_fig2(width), true});
+  out.push_back({"fig3", circuits::make_fig3(width), true});
+  out.push_back({"fig4", circuits::make_fig4(width), true});
+  out.push_back({"fig12a", circuits::make_fig12a(width), true});
+  out.push_back({"c5a2m", circuits::make_c5a2m(width), true});
+  out.push_back({"c3a2m", circuits::make_c3a2m(width), true});
+  out.push_back({"c4a4m", circuits::make_c4a4m(width), true});
+  out.push_back({"fir3", circuits::make_fir_datapath(3, width), true});
+  out.push_back({"fir6", circuits::make_fir_datapath(6, width), true});
+  return out;
+}
+
+class ZooSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooSweep, FullFlowOnEveryAcyclicCircuit) {
+  const int width = GetParam();
+  for (ZooCase& z : zoo(width)) {
+    if (!graph::is_acyclic(z.n)) continue;  // fig3 has the F/H cycle
+    SCOPED_TRACE(z.name + " w=" + std::to_string(width));
+
+    const core::DesignResult design = core::design_bibs(z.n);
+    ASSERT_TRUE(design.report.ok);
+    const core::DesignCost cost = core::evaluate_design(z.n, design.bilbo);
+    EXPECT_GE(cost.kernels, 1u);
+    EXPECT_GE(cost.sessions, 1);
+
+    for (const core::Kernel& k : design.report.kernels) {
+      if (k.trivial) continue;
+      const auto s = core::kernel_structure(z.n, design.bilbo, k);
+      if (s.total_width() + s.max_depth() > 60) continue;
+      const auto d = tpg::mc_tpg(s);
+      EXPECT_TRUE(tpg::check_exhaustive_rank(d).all_exhaustive);
+      // Corollary to Theorem 5: M never exceeds width + depth span.
+      EXPECT_GE(d.lfsr_stages, s.max_cone_width());
+    }
+
+    if (z.elaboratable && width <= 8) {
+      const gate::Elaboration elab = gate::elaborate(z.n);
+      EXPECT_GT(elab.netlist.gate_count(), 0u);
+      const auto plan = sim::make_test_plan(z.n, elab, design, 64);
+      EXPECT_EQ(plan.sessions, cost.sessions);
+      EXPECT_GT(plan.total_test_time(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ZooSweep, ::testing::Values(2, 3, 4, 8));
+
+TEST(ZooSweep, CyclicCircuitsGoThroughTheCbilboPath) {
+  for (int width : {2, 4, 8}) {
+    const auto n = circuits::make_fig3(width);
+    SCOPED_TRACE(width);
+    // fig3's F/H cycle has two register edges: plain BIBS suffices.
+    const auto res = core::design_bibs(n);
+    EXPECT_TRUE(res.report.ok);
+    EXPECT_TRUE(res.bilbo.count(n.find_register("R5")) ||
+                res.bilbo.count(n.find_register("R6")));
+  }
+}
+
+TEST(ZooSweep, Ka85VsBibsAcrossWidths) {
+  for (int width : {2, 4, 8, 16}) {
+    for (int which = 0; which < 3; ++which) {
+      const auto n = which == 0   ? circuits::make_c5a2m(width)
+                     : which == 1 ? circuits::make_c3a2m(width)
+                                  : circuits::make_c4a4m(width);
+      SCOPED_TRACE(n.name() + " w=" + std::to_string(width));
+      const auto bibs = core::evaluate_design(n, core::design_bibs(n).bilbo);
+      const auto ka = core::evaluate_design(n, core::design_ka85(n).bilbo);
+      // Structural rows are width-independent.
+      EXPECT_EQ(bibs.kernels, 1u);
+      EXPECT_EQ(bibs.max_delay, 2);
+      EXPECT_LT(bibs.bilbo_registers, ka.bilbo_registers);
+      EXPECT_LT(bibs.max_delay, ka.max_delay);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bibs
