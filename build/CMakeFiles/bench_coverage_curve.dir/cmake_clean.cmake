@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_curve.dir/bench/bench_coverage_curve.cpp.o"
+  "CMakeFiles/bench_coverage_curve.dir/bench/bench_coverage_curve.cpp.o.d"
+  "bench/bench_coverage_curve"
+  "bench/bench_coverage_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

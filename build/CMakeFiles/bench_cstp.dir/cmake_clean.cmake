@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cstp.dir/bench/bench_cstp.cpp.o"
+  "CMakeFiles/bench_cstp.dir/bench/bench_cstp.cpp.o.d"
+  "bench/bench_cstp"
+  "bench/bench_cstp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cstp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_pseudo_exhaustive.dir/bench/bench_fig21_pseudo_exhaustive.cpp.o"
+  "CMakeFiles/bench_fig21_pseudo_exhaustive.dir/bench/bench_fig21_pseudo_exhaustive.cpp.o.d"
+  "bench/bench_fig21_pseudo_exhaustive"
+  "bench/bench_fig21_pseudo_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_pseudo_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

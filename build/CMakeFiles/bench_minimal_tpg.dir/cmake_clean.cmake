@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimal_tpg.dir/bench/bench_minimal_tpg.cpp.o"
+  "CMakeFiles/bench_minimal_tpg.dir/bench/bench_minimal_tpg.cpp.o.d"
+  "bench/bench_minimal_tpg"
+  "bench/bench_minimal_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimal_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

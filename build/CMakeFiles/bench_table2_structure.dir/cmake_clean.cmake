@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_structure.dir/bench/bench_table2_structure.cpp.o"
+  "CMakeFiles/bench_table2_structure.dir/bench/bench_table2_structure.cpp.o.d"
+  "bench/bench_table2_structure"
+  "bench/bench_table2_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

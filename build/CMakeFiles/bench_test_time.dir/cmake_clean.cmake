@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test_time.dir/bench/bench_test_time.cpp.o"
+  "CMakeFiles/bench_test_time.dir/bench/bench_test_time.cpp.o.d"
+  "bench/bench_test_time"
+  "bench/bench_test_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpg_examples.dir/bench/bench_tpg_examples.cpp.o"
+  "CMakeFiles/bench_tpg_examples.dir/bench/bench_tpg_examples.cpp.o.d"
+  "bench/bench_tpg_examples"
+  "bench/bench_tpg_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpg_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_cli.dir/bibs_cli.cpp.o"
+  "CMakeFiles/bibs_cli.dir/bibs_cli.cpp.o.d"
+  "bibs_cli"
+  "bibs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

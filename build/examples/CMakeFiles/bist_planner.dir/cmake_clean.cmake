@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_planner.dir/bist_planner.cpp.o"
+  "CMakeFiles/bist_planner.dir/bist_planner.cpp.o.d"
+  "bist_planner"
+  "bist_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpg_designer.dir/tpg_designer.cpp.o"
+  "CMakeFiles/tpg_designer.dir/tpg_designer.cpp.o.d"
+  "tpg_designer"
+  "tpg_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpg_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

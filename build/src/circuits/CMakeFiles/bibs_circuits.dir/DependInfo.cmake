@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/datapaths.cpp" "src/circuits/CMakeFiles/bibs_circuits.dir/datapaths.cpp.o" "gcc" "src/circuits/CMakeFiles/bibs_circuits.dir/datapaths.cpp.o.d"
+  "/root/repo/src/circuits/figures.cpp" "src/circuits/CMakeFiles/bibs_circuits.dir/figures.cpp.o" "gcc" "src/circuits/CMakeFiles/bibs_circuits.dir/figures.cpp.o.d"
+  "/root/repo/src/circuits/random.cpp" "src/circuits/CMakeFiles/bibs_circuits.dir/random.cpp.o" "gcc" "src/circuits/CMakeFiles/bibs_circuits.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_circuits.dir/datapaths.cpp.o"
+  "CMakeFiles/bibs_circuits.dir/datapaths.cpp.o.d"
+  "CMakeFiles/bibs_circuits.dir/figures.cpp.o"
+  "CMakeFiles/bibs_circuits.dir/figures.cpp.o.d"
+  "CMakeFiles/bibs_circuits.dir/random.cpp.o"
+  "CMakeFiles/bibs_circuits.dir/random.cpp.o.d"
+  "libbibs_circuits.a"
+  "libbibs_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_common.dir/bitvec.cpp.o"
+  "CMakeFiles/bibs_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/bibs_common.dir/prng.cpp.o"
+  "CMakeFiles/bibs_common.dir/prng.cpp.o.d"
+  "CMakeFiles/bibs_common.dir/table.cpp.o"
+  "CMakeFiles/bibs_common.dir/table.cpp.o.d"
+  "libbibs_common.a"
+  "libbibs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/designer.cpp" "src/core/CMakeFiles/bibs_core.dir/designer.cpp.o" "gcc" "src/core/CMakeFiles/bibs_core.dir/designer.cpp.o.d"
+  "/root/repo/src/core/explore.cpp" "src/core/CMakeFiles/bibs_core.dir/explore.cpp.o" "gcc" "src/core/CMakeFiles/bibs_core.dir/explore.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/bibs_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/bibs_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/bibs_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/bibs_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/bibs_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/bibs_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bibs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpg/CMakeFiles/bibs_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/bibs_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/bibs_gate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_core.dir/designer.cpp.o"
+  "CMakeFiles/bibs_core.dir/designer.cpp.o.d"
+  "CMakeFiles/bibs_core.dir/explore.cpp.o"
+  "CMakeFiles/bibs_core.dir/explore.cpp.o.d"
+  "CMakeFiles/bibs_core.dir/kernels.cpp.o"
+  "CMakeFiles/bibs_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/bibs_core.dir/report.cpp.o"
+  "CMakeFiles/bibs_core.dir/report.cpp.o.d"
+  "CMakeFiles/bibs_core.dir/schedule.cpp.o"
+  "CMakeFiles/bibs_core.dir/schedule.cpp.o.d"
+  "libbibs_core.a"
+  "libbibs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

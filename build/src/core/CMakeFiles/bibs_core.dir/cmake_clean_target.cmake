@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbibs_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/atpg.cpp" "src/fault/CMakeFiles/bibs_fault.dir/atpg.cpp.o" "gcc" "src/fault/CMakeFiles/bibs_fault.dir/atpg.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/bibs_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/bibs_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/simulator.cpp" "src/fault/CMakeFiles/bibs_fault.dir/simulator.cpp.o" "gcc" "src/fault/CMakeFiles/bibs_fault.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gate/CMakeFiles/bibs_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bibs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

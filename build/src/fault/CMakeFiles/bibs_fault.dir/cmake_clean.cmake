@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_fault.dir/atpg.cpp.o"
+  "CMakeFiles/bibs_fault.dir/atpg.cpp.o.d"
+  "CMakeFiles/bibs_fault.dir/fault.cpp.o"
+  "CMakeFiles/bibs_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/bibs_fault.dir/simulator.cpp.o"
+  "CMakeFiles/bibs_fault.dir/simulator.cpp.o.d"
+  "libbibs_fault.a"
+  "libbibs_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

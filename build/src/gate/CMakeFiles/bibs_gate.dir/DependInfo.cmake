@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/bench_format.cpp" "src/gate/CMakeFiles/bibs_gate.dir/bench_format.cpp.o" "gcc" "src/gate/CMakeFiles/bibs_gate.dir/bench_format.cpp.o.d"
+  "/root/repo/src/gate/netlist.cpp" "src/gate/CMakeFiles/bibs_gate.dir/netlist.cpp.o" "gcc" "src/gate/CMakeFiles/bibs_gate.dir/netlist.cpp.o.d"
+  "/root/repo/src/gate/sim.cpp" "src/gate/CMakeFiles/bibs_gate.dir/sim.cpp.o" "gcc" "src/gate/CMakeFiles/bibs_gate.dir/sim.cpp.o.d"
+  "/root/repo/src/gate/synth.cpp" "src/gate/CMakeFiles/bibs_gate.dir/synth.cpp.o" "gcc" "src/gate/CMakeFiles/bibs_gate.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bibs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

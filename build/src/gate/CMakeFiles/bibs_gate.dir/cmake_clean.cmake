@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_gate.dir/bench_format.cpp.o"
+  "CMakeFiles/bibs_gate.dir/bench_format.cpp.o.d"
+  "CMakeFiles/bibs_gate.dir/netlist.cpp.o"
+  "CMakeFiles/bibs_gate.dir/netlist.cpp.o.d"
+  "CMakeFiles/bibs_gate.dir/sim.cpp.o"
+  "CMakeFiles/bibs_gate.dir/sim.cpp.o.d"
+  "CMakeFiles/bibs_gate.dir/synth.cpp.o"
+  "CMakeFiles/bibs_gate.dir/synth.cpp.o.d"
+  "libbibs_gate.a"
+  "libbibs_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_graph.dir/analysis.cpp.o"
+  "CMakeFiles/bibs_graph.dir/analysis.cpp.o.d"
+  "libbibs_graph.a"
+  "libbibs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

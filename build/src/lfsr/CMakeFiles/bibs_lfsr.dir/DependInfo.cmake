@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfsr/bilbo.cpp" "src/lfsr/CMakeFiles/bibs_lfsr.dir/bilbo.cpp.o" "gcc" "src/lfsr/CMakeFiles/bibs_lfsr.dir/bilbo.cpp.o.d"
+  "/root/repo/src/lfsr/bilbo_synth.cpp" "src/lfsr/CMakeFiles/bibs_lfsr.dir/bilbo_synth.cpp.o" "gcc" "src/lfsr/CMakeFiles/bibs_lfsr.dir/bilbo_synth.cpp.o.d"
+  "/root/repo/src/lfsr/lfsr.cpp" "src/lfsr/CMakeFiles/bibs_lfsr.dir/lfsr.cpp.o" "gcc" "src/lfsr/CMakeFiles/bibs_lfsr.dir/lfsr.cpp.o.d"
+  "/root/repo/src/lfsr/misr.cpp" "src/lfsr/CMakeFiles/bibs_lfsr.dir/misr.cpp.o" "gcc" "src/lfsr/CMakeFiles/bibs_lfsr.dir/misr.cpp.o.d"
+  "/root/repo/src/lfsr/polynomial.cpp" "src/lfsr/CMakeFiles/bibs_lfsr.dir/polynomial.cpp.o" "gcc" "src/lfsr/CMakeFiles/bibs_lfsr.dir/polynomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gate/CMakeFiles/bibs_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bibs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_lfsr.dir/bilbo.cpp.o"
+  "CMakeFiles/bibs_lfsr.dir/bilbo.cpp.o.d"
+  "CMakeFiles/bibs_lfsr.dir/bilbo_synth.cpp.o"
+  "CMakeFiles/bibs_lfsr.dir/bilbo_synth.cpp.o.d"
+  "CMakeFiles/bibs_lfsr.dir/lfsr.cpp.o"
+  "CMakeFiles/bibs_lfsr.dir/lfsr.cpp.o.d"
+  "CMakeFiles/bibs_lfsr.dir/misr.cpp.o"
+  "CMakeFiles/bibs_lfsr.dir/misr.cpp.o.d"
+  "CMakeFiles/bibs_lfsr.dir/polynomial.cpp.o"
+  "CMakeFiles/bibs_lfsr.dir/polynomial.cpp.o.d"
+  "libbibs_lfsr.a"
+  "libbibs_lfsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/edif.cpp" "src/rtl/CMakeFiles/bibs_rtl.dir/edif.cpp.o" "gcc" "src/rtl/CMakeFiles/bibs_rtl.dir/edif.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/bibs_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/bibs_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/parser.cpp" "src/rtl/CMakeFiles/bibs_rtl.dir/parser.cpp.o" "gcc" "src/rtl/CMakeFiles/bibs_rtl.dir/parser.cpp.o.d"
+  "/root/repo/src/rtl/sexpr.cpp" "src/rtl/CMakeFiles/bibs_rtl.dir/sexpr.cpp.o" "gcc" "src/rtl/CMakeFiles/bibs_rtl.dir/sexpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_rtl.dir/edif.cpp.o"
+  "CMakeFiles/bibs_rtl.dir/edif.cpp.o.d"
+  "CMakeFiles/bibs_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/bibs_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/bibs_rtl.dir/parser.cpp.o"
+  "CMakeFiles/bibs_rtl.dir/parser.cpp.o.d"
+  "CMakeFiles/bibs_rtl.dir/sexpr.cpp.o"
+  "CMakeFiles/bibs_rtl.dir/sexpr.cpp.o.d"
+  "libbibs_rtl.a"
+  "libbibs_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

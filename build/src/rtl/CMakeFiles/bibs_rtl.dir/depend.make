@@ -1,0 +1,2 @@
+# Empty dependencies file for bibs_rtl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_sim.dir/cstp.cpp.o"
+  "CMakeFiles/bibs_sim.dir/cstp.cpp.o.d"
+  "CMakeFiles/bibs_sim.dir/lane_engine.cpp.o"
+  "CMakeFiles/bibs_sim.dir/lane_engine.cpp.o.d"
+  "CMakeFiles/bibs_sim.dir/session.cpp.o"
+  "CMakeFiles/bibs_sim.dir/session.cpp.o.d"
+  "CMakeFiles/bibs_sim.dir/testplan.cpp.o"
+  "CMakeFiles/bibs_sim.dir/testplan.cpp.o.d"
+  "libbibs_sim.a"
+  "libbibs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpg/exhaustive.cpp" "src/tpg/CMakeFiles/bibs_tpg.dir/exhaustive.cpp.o" "gcc" "src/tpg/CMakeFiles/bibs_tpg.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/tpg/minimize.cpp" "src/tpg/CMakeFiles/bibs_tpg.dir/minimize.cpp.o" "gcc" "src/tpg/CMakeFiles/bibs_tpg.dir/minimize.cpp.o.d"
+  "/root/repo/src/tpg/optimize.cpp" "src/tpg/CMakeFiles/bibs_tpg.dir/optimize.cpp.o" "gcc" "src/tpg/CMakeFiles/bibs_tpg.dir/optimize.cpp.o.d"
+  "/root/repo/src/tpg/procedures.cpp" "src/tpg/CMakeFiles/bibs_tpg.dir/procedures.cpp.o" "gcc" "src/tpg/CMakeFiles/bibs_tpg.dir/procedures.cpp.o.d"
+  "/root/repo/src/tpg/structure.cpp" "src/tpg/CMakeFiles/bibs_tpg.dir/structure.cpp.o" "gcc" "src/tpg/CMakeFiles/bibs_tpg.dir/structure.cpp.o.d"
+  "/root/repo/src/tpg/synthesize.cpp" "src/tpg/CMakeFiles/bibs_tpg.dir/synthesize.cpp.o" "gcc" "src/tpg/CMakeFiles/bibs_tpg.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfsr/CMakeFiles/bibs_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/bibs_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bibs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

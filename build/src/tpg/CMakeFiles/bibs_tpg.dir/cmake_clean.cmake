@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibs_tpg.dir/exhaustive.cpp.o"
+  "CMakeFiles/bibs_tpg.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/bibs_tpg.dir/minimize.cpp.o"
+  "CMakeFiles/bibs_tpg.dir/minimize.cpp.o.d"
+  "CMakeFiles/bibs_tpg.dir/optimize.cpp.o"
+  "CMakeFiles/bibs_tpg.dir/optimize.cpp.o.d"
+  "CMakeFiles/bibs_tpg.dir/procedures.cpp.o"
+  "CMakeFiles/bibs_tpg.dir/procedures.cpp.o.d"
+  "CMakeFiles/bibs_tpg.dir/structure.cpp.o"
+  "CMakeFiles/bibs_tpg.dir/structure.cpp.o.d"
+  "CMakeFiles/bibs_tpg.dir/synthesize.cpp.o"
+  "CMakeFiles/bibs_tpg.dir/synthesize.cpp.o.d"
+  "libbibs_tpg.a"
+  "libbibs_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibs_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bilbo_synth_test.dir/bilbo_synth_test.cpp.o"
+  "CMakeFiles/bilbo_synth_test.dir/bilbo_synth_test.cpp.o.d"
+  "bilbo_synth_test"
+  "bilbo_synth_test.pdb"
+  "bilbo_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilbo_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cstp_test.cpp" "tests/CMakeFiles/cstp_test.dir/cstp_test.cpp.o" "gcc" "tests/CMakeFiles/cstp_test.dir/cstp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/bibs_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bibs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/bibs_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bibs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpg/CMakeFiles/bibs_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/bibs_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/bibs_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bibs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/bibs_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bibs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstp_test.dir/cstp_test.cpp.o"
+  "CMakeFiles/cstp_test.dir/cstp_test.cpp.o.d"
+  "cstp_test"
+  "cstp_test.pdb"
+  "cstp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edif_test.dir/edif_test.cpp.o"
+  "CMakeFiles/edif_test.dir/edif_test.cpp.o.d"
+  "edif_test"
+  "edif_test.pdb"
+  "edif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_test.dir/synthesize_test.cpp.o"
+  "CMakeFiles/synthesize_test.dir/synthesize_test.cpp.o.d"
+  "synthesize_test"
+  "synthesize_test.pdb"
+  "synthesize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpg_test.dir/tpg_test.cpp.o"
+  "CMakeFiles/tpg_test.dir/tpg_test.cpp.o.d"
+  "tpg_test"
+  "tpg_test.pdb"
+  "tpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
