@@ -7,6 +7,7 @@
 // anything else the line format. Without arguments it runs on a built-in
 // sample (the c3a2m filter data path).
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -15,6 +16,7 @@
 #include "core/designer.hpp"
 #include "core/report.hpp"
 #include "gate/synth.hpp"
+#include "obs/obs.hpp"
 #include "rtl/edif.hpp"
 #include "sim/testplan.hpp"
 
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
 
   rtl::Netlist n;
   try {
+    obs::Span span("cli.parse");
     if (path.empty()) {
       n = circuits::make_c3a2m();
       std::cout << "(no input file given; using the built-in c3a2m)\n\n";
@@ -63,19 +66,31 @@ int main(int argc, char** argv) {
       std::cout << "\n";
       return 0;
     }
-    const core::DesignResult design =
-        tdm == "ka85" ? core::design_ka85(n) : core::design_bibs(n);
+    const core::DesignResult design = [&] {
+      obs::Span span("cli.design");
+      return tdm == "ka85" ? core::design_ka85(n) : core::design_bibs(n);
+    }();
     std::cout << "TDM '" << tdm
               << "': " << core::to_string(core::evaluate_design(n, design.bilbo))
               << "\n\n";
     const gate::Elaboration elab = gate::elaborate(n);
     std::cout << "gate-level: " << elab.netlist.gate_count() << " gates, "
               << elab.netlist.dffs().size() << " flip-flops\n\n";
+    obs::Span plan_span("cli.test_plan");
     const auto plan = sim::make_test_plan(n, elab, design, cap);
     std::cout << plan.to_string(n) << "\n" << plan.controller_rtl();
   } catch (const Error& e) {
     std::cerr << "flow failed: " << e.what() << "\n";
     return 1;
   }
+
+  // Machine-readable run report (and trace flush) for scripted consumers;
+  // both also happen automatically at exit, this just orders them before
+  // stdout closes and surfaces the destination.
+  if (obs::write_report_from_env())
+    std::cerr << "wrote obs report to " << std::getenv("BIBS_METRICS") << "\n";
+  if (obs::TraceWriter::instance().enabled())
+    std::cerr << "tracing to " << obs::TraceWriter::instance().path()
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
   return 0;
 }

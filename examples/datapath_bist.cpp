@@ -12,6 +12,7 @@
 // real BIST schedule we run a truncated pseudo-random session and measure
 // the coverage it buys.
 
+#include <cstdlib>
 #include <iostream>
 
 #include "circuits/datapaths.hpp"
@@ -19,7 +20,9 @@
 #include "core/designer.hpp"
 #include "core/report.hpp"
 #include "gate/synth.hpp"
+#include "obs/obs.hpp"
 #include "sim/session.hpp"
+#include "tpg/synthesize.hpp"
 
 int main() {
   using namespace bibs;
@@ -27,7 +30,12 @@ int main() {
   const rtl::Netlist n = circuits::make_c5a2m();
   std::cout << "c5a2m: o = (a+b)*(c+d) + (e+f)*(g+h), 8-bit operands\n";
 
-  const gate::Elaboration elab = gate::elaborate(n);
+  // gate::elaborate carries its own "gate.elaborate" span; this outer one
+  // names the example's phase for the trace timeline.
+  const gate::Elaboration elab = [&] {
+    obs::Span span("elaborate");
+    return gate::elaborate(n);
+  }();
   std::cout << "elaborated to " << elab.netlist.gate_count()
             << " logic gates and " << elab.netlist.dffs().size()
             << " flip-flops\n\n";
@@ -38,11 +46,20 @@ int main() {
 
   for (const core::Kernel& k : design.report.kernels) {
     if (k.trivial) continue;
-    sim::BistSession session(n, elab, design.bilbo, k);
+    sim::BistSession session = [&] {
+      obs::Span span("tpg_synthesis");
+      return sim::BistSession(n, elab, design.bilbo, k);
+    }();
+    session.set_progress(obs::progress_from_env());
     std::cout << "TPG: " << session.tpg().lfsr_stages << "-stage LFSR, "
               << session.tpg().physical_ffs() << " flip-flops, p(x) = "
               << session.tpg().poly.to_string() << "\n";
+    const auto hw = tpg::synthesize_tpg(session.tpg());
+    std::cout << "TPG hardware: " << hw.netlist.dffs().size()
+              << " flip-flops, " << hw.feedback_xors()
+              << " feedback XORs\n";
 
+    obs::Span fault_sim_span("fault_sim");
     const fault::FaultList faults = session.kernel_faults();
     Table t("BIST session coverage vs length (collapsed stuck-at faults: " +
             std::to_string(faults.size()) + ")");
@@ -61,7 +78,16 @@ int main() {
     std::cout << "\ngolden signatures after 4,096 cycles:";
     for (std::size_t i = 0; i < rep.golden_signatures.size(); ++i)
       std::cout << " 0x" << std::hex << rep.golden_signatures[i] << std::dec;
-    std::cout << "\n";
+    std::cout << "\nsignature coverage at 4,096 cycles: "
+              << 100.0 * static_cast<double>(rep.detected_by_signature) /
+                     static_cast<double>(rep.total_faults)
+              << "%\n";
   }
+
+  if (obs::write_report_from_env())
+    std::cerr << "wrote obs report to " << std::getenv("BIBS_METRICS") << "\n";
+  if (obs::TraceWriter::instance().enabled())
+    std::cerr << "tracing to " << obs::TraceWriter::instance().path()
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
   return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Verifies the BIBS_OBS CMake option in both configurations: the library
+# targets must build with instrumentation compiled in (ON, the default) and
+# with the macros compiled to nothing (OFF). Only the static libraries are
+# built — no tests, benches or examples — to keep this cheap enough to run
+# as a ctest (label: bibs-report).
+#
+# Usage: check_obs_offon.sh [source-dir]
+set -eu
+
+SRC=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/bibs_obs_offon.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+LIBS="bibs_common bibs_obs bibs_lfsr bibs_rtl bibs_graph bibs_gate \
+bibs_fault bibs_tpg bibs_circuits bibs_core bibs_sim"
+
+for mode in ON OFF; do
+  echo "== BIBS_OBS=$mode =="
+  cmake -S "$SRC" -B "$TMP/$mode" -DBIBS_OBS="$mode" \
+    > "$TMP/$mode-configure.log" 2>&1 || {
+    cat "$TMP/$mode-configure.log"
+    echo "FAIL: configure with BIBS_OBS=$mode" >&2
+    exit 1
+  }
+  # shellcheck disable=SC2086  # LIBS is a deliberate word list
+  cmake --build "$TMP/$mode" -j --target $LIBS \
+    > "$TMP/$mode-build.log" 2>&1 || {
+    tail -50 "$TMP/$mode-build.log"
+    echo "FAIL: build with BIBS_OBS=$mode" >&2
+    exit 1
+  }
+done
+
+echo "OK: library builds with BIBS_OBS=ON and BIBS_OBS=OFF"

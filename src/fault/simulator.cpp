@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "gate/sim.hpp"
+#include "obs/obs.hpp"
 
 namespace bibs::fault {
 
@@ -31,11 +32,15 @@ std::int64_t CoverageCurve::patterns_for_fraction(double fraction) const {
   hits.reserve(detected_at.size());
   for (auto d : detected_at)
     if (d != kUndetected) hits.push_back(d);
-  if (hits.empty()) return 0;
+  if (hits.empty()) return 0;  // nothing was ever detected
   std::sort(hits.begin(), hits.end());
-  const auto need = static_cast<std::size_t>(
-      std::ceil(fraction * static_cast<double>(hits.size())));
-  BIBS_ASSERT(need >= 1 && need <= hits.size());
+  // Clamp against float round-off so fraction == 1.0 always selects the
+  // last detection and tiny fractions always select at least one fault.
+  const auto need = std::min<std::size_t>(
+      hits.size(),
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(fraction * static_cast<double>(hits.size())))));
   return hits[need - 1] + 1;  // pattern indices are 0-based
 }
 
@@ -174,9 +179,24 @@ std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes) {
   return detect;
 }
 
+void FaultSimulator::set_progress(obs::ProgressFn fn,
+                                  std::int64_t every_patterns) {
+  BIBS_ASSERT(every_patterns > 0);
+  progress_ = std::move(fn);
+  progress_every_ = every_patterns;
+}
+
 CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
                                   std::int64_t max_patterns,
                                   std::int64_t stall_limit) {
+  BIBS_SPAN("fault_sim.run");
+  BIBS_COUNTER(c_patterns, "fault_sim.patterns");
+  BIBS_COUNTER(c_blocks, "fault_sim.blocks");
+  BIBS_COUNTER(c_dropped, "fault_sim.faults_dropped");
+  BIBS_GAUGE(g_coverage, "fault_sim.coverage");
+  BIBS_HISTOGRAM(h_block_det, "fault_sim.block_detections",
+                 (std::vector<double>{0, 1, 2, 4, 8, 16, 32, 64}));
+
   CoverageCurve curve;
   curve.detected_at.assign(faults_.size(), CoverageCurve::kUndetected);
 
@@ -187,6 +207,24 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
       nl_->inputs().size(), 1));
   std::int64_t base = 0;
   std::int64_t last_new_detection = 0;
+  std::int64_t next_progress = progress_every_;
+
+  const auto emit_progress = [&] {
+    obs::Progress p;
+    p.phase = "fault_sim";
+    p.done = base;
+    p.total = max_patterns == std::numeric_limits<std::int64_t>::max()
+                  ? -1
+                  : max_patterns;
+    p.faults_live = static_cast<std::int64_t>(live.size());
+    p.faults_detected =
+        static_cast<std::int64_t>(faults_.size() - live.size());
+    p.coverage = faults_.size() == 0
+                     ? 1.0
+                     : static_cast<double>(p.faults_detected) /
+                           static_cast<double>(faults_.size());
+    progress_(p);
+  };
 
   while (base < max_patterns && !live.empty()) {
     const int lanes_wanted = static_cast<int>(
@@ -199,6 +237,7 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
     cur_ = good_;
 
     std::size_t keep = 0;
+    const std::size_t live_before = live.size();
     for (std::size_t li = 0; li < live.size(); ++li) {
       const std::size_t fi = live[li];
       const std::uint64_t det = propagate(faults_[fi], lanes);
@@ -212,9 +251,21 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
     }
     live.resize(keep);
     base += lanes;
+
+    BIBS_COUNTER_ADD(c_patterns, lanes);
+    BIBS_COUNTER_ADD(c_blocks, 1);
+    BIBS_COUNTER_ADD(c_dropped, live_before - keep);
+    BIBS_HISTOGRAM_OBSERVE(h_block_det, live_before - keep);
+    if (progress_ && base >= next_progress) {
+      emit_progress();
+      next_progress = base + progress_every_;
+    }
+
     if (base - last_new_detection > stall_limit) break;
   }
   curve.patterns_run = base;
+  BIBS_GAUGE_SET(g_coverage, curve.coverage());
+  if (progress_) emit_progress();
   return curve;
 }
 

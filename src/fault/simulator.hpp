@@ -18,6 +18,7 @@
 #include "common/prng.hpp"
 #include "fault/fault.hpp"
 #include "gate/netlist.hpp"
+#include "obs/progress.hpp"
 
 namespace bibs::fault {
 
@@ -36,7 +37,11 @@ struct CoverageCurve {
   /// Detected / total, in [0, 1].
   double coverage() const;
   /// Smallest pattern count that detects ceil(fraction * detected_count())
-  /// of the faults that were ever detected. fraction in (0, 1].
+  /// of the faults that were ever detected. fraction must lie in (0, 1]
+  /// (asserted): at exactly 1.0 this is the pattern count at which the
+  /// *last* ever-detected fault fell, i.e. last detection index + 1. When
+  /// no fault was ever detected there is nothing to cover and the result is
+  /// 0 for every valid fraction.
   std::int64_t patterns_for_fraction(double fraction) const;
   /// Coverage (of total faults) after the first `patterns` patterns.
   double coverage_after(std::int64_t patterns) const;
@@ -84,12 +89,20 @@ class FaultSimulator {
   /// Used to cross-check the event-driven engine in tests.
   bool detects_naive(const Fault& f, const std::vector<bool>& pattern) const;
 
+  /// Installs a progress callback invoked from run() roughly every
+  /// `every_patterns` simulated patterns and once more when the run ends.
+  /// Pass an empty function to disable. The cadence is block-granular
+  /// (64-pattern blocks), never the inner fault loop.
+  void set_progress(obs::ProgressFn fn, std::int64_t every_patterns = 8192);
+
  private:
   void good_eval(const std::uint64_t* in_words);
   std::uint64_t propagate(const Fault& f, int valid_lanes);
 
   const gate::Netlist* nl_;
   FaultList faults_;
+  obs::ProgressFn progress_;
+  std::int64_t progress_every_ = 8192;
 
   // Levelized structure.
   std::vector<gate::NetId> topo_;

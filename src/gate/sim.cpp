@@ -1,5 +1,7 @@
 #include "gate/sim.hpp"
 
+#include "obs/obs.hpp"
+
 namespace bibs::gate {
 
 Simulator::Simulator(const Netlist& nl)
@@ -50,6 +52,8 @@ std::uint64_t Simulator::eval_gate(GateType t, const std::uint64_t* in,
 }
 
 void Simulator::eval() {
+  BIBS_COUNTER(c_evals, "gate_sim.evals");
+  BIBS_COUNTER_ADD(c_evals, 1);
   // DFF outputs present their state.
   for (NetId d : nl_->dffs())
     values_[static_cast<std::size_t>(d)] = state_[static_cast<std::size_t>(d)];
@@ -65,6 +69,8 @@ void Simulator::eval() {
 }
 
 void Simulator::clock() {
+  BIBS_COUNTER(c_clocks, "gate_sim.clocks");
+  BIBS_COUNTER_ADD(c_clocks, 1);
   for (NetId d : nl_->dffs()) {
     const Gate& g = nl_->gate(d);
     BIBS_ASSERT(g.fanin.size() == 1);

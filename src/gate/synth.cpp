@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "graph/analysis.hpp"
+#include "obs/obs.hpp"
 
 namespace bibs::gate {
 
@@ -222,6 +223,10 @@ Bus comb_block(Netlist& nl, const rtl::Block& b, const std::vector<Bus>& in) {
 }  // namespace
 
 Elaboration elaborate(const rtl::Netlist& n) {
+  BIBS_SPAN("gate.elaborate");
+  BIBS_COUNTER(c_elabs, "gate.elaborations");
+  BIBS_COUNTER(c_gates, "gate.elaborated_gates");
+  BIBS_COUNTER_ADD(c_elabs, 1);
   n.validate();
   Elaboration e;
   Netlist& nl = e.netlist;
@@ -283,6 +288,7 @@ Elaboration elaborate(const rtl::Netlist& n) {
       nl.set_dff_d(e.reg_q.at(cid)[i], src[i]);
   }
   nl.validate();
+  BIBS_COUNTER_ADD(c_gates, nl.gate_count());
   return e;
 }
 

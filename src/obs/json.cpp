@@ -1,0 +1,321 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bibs::obs {
+
+bool Json::boolean() const {
+  BIBS_ASSERT(type_ == Type::kBool);
+  return bool_;
+}
+
+double Json::number() const {
+  BIBS_ASSERT(type_ == Type::kNumber);
+  return num_;
+}
+
+const std::string& Json::str() const {
+  BIBS_ASSERT(type_ == Type::kString);
+  return str_;
+}
+
+const Json::Array& Json::items() const {
+  BIBS_ASSERT(type_ == Type::kArray);
+  return arr_;
+}
+
+const Json::Object& Json::members() const {
+  BIBS_ASSERT(type_ == Type::kObject);
+  return obj_;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  BIBS_ASSERT(type_ == Type::kObject);
+  for (auto& [k, v] : obj_)
+    if (k == key) return v;
+  obj_.emplace_back(std::string(key), Json());
+  return obj_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  BIBS_ASSERT(type_ == Type::kArray);
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray: return arr_.size();
+    case Type::kObject: return obj_.size();
+    case Type::kString: return str_.size();
+    default: return 0;
+  }
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull: out = "null"; break;
+    case Type::kBool: out = bool_ ? "true" : "false"; break;
+    case Type::kNumber: dump_number(num_, out); break;
+    case Type::kString: dump_string(str_, out); break;
+    case Type::kArray: {
+      out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        out += arr_[i].dump();
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out = "{";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        dump_string(obj_[i].first, out);
+        out += ':';
+        out += obj_[i].second.dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences; good enough for trace files).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) fail("bad number");
+    return Json(d);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace bibs::obs

@@ -1,0 +1,82 @@
+#pragma once
+// Minimal JSON value with a serializer and a parser, used by the obs layer:
+// run reports and Chrome trace events are emitted through it, and tests parse
+// the emitted files back to check well-formedness. Deliberately not a
+// general-purpose JSON library: numbers are doubles (integral values are
+// printed without a fraction), object keys keep insertion order, and parse
+// errors throw bibs::ParseError.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bibs::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int n) : Json(static_cast<double>(n)) {}
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : Json(static_cast<double>(n)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  /// Object access: inserts a null member on a missing key (non-const).
+  Json& operator[](std::string_view key);
+  /// Object lookup; nullptr when missing or not an object.
+  const Json* find(std::string_view key) const;
+  /// Array append.
+  void push_back(Json v);
+  /// Array / object element count; string length; 0 otherwise.
+  std::size_t size() const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace bibs::obs

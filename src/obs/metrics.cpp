@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include "common/error.hpp"
+#include "obs/report.hpp"
+
+namespace bibs::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  BIBS_ASSERT(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    BIBS_ASSERT(bounds_[i - 1] < bounds_[i]);
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  std::size_t lo = 0, hi = bounds_.size();  // first bucket with v <= bound
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (v <= bounds_[mid])
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  counts_[lo].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int count) {
+  BIBS_ASSERT(start > 0 && factor > 1 && count >= 1);
+  std::vector<double> b;
+  b.reserve(static_cast<std::size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i, v *= factor) b.push_back(v);
+  return b;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  s.total = total_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry::Registry()
+    : start_steady_(std::chrono::steady_clock::now()),
+      start_system_(std::chrono::system_clock::now()) {
+  detail::ensure_shutdown_hook();
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: see header
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+PhaseStat& Registry::phase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = phases_[name];
+  if (!slot) slot = std::make_unique<PhaseStat>();
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->snapshot());
+  for (const auto& [name, p] : phases_)
+    s.phases.push_back({name, p->calls(),
+                        static_cast<double>(p->total_ns()) / 1e6});
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, p] : phases_) p->reset();
+}
+
+}  // namespace bibs::obs

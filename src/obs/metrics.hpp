@@ -1,0 +1,148 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, fixed-bucket
+// histograms and per-phase wall-time accumulators.
+//
+// Design for hot paths: a handle returned by Registry is a stable reference
+// for the lifetime of the process, so instrumented code resolves it once
+// (function-local static, see the BIBS_COUNTER macro in obs/obs.hpp) and then
+// pays exactly one relaxed atomic op per event — cheap enough for the PPSFP
+// block loop. Registration takes a mutex; updates never do.
+//
+// The first touch of Registry::global() arms a process-exit hook that flushes
+// the trace writer (BIBS_TRACE) and writes the run report (BIBS_METRICS); see
+// obs/report.hpp.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bibs::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written point-in-time value (e.g. current coverage fraction).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. A sample v lands in the first bucket with
+/// v <= bounds[i]; samples above the last bound land in an implicit
+/// overflow bucket, so counts has bounds.size() + 1 entries.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  /// {start, start*factor, ..., start*factor^(count-1)} — the usual latency
+  /// / size bucketing helper.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+    std::uint64_t total = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Accumulated wall time of one named phase; fed by obs::Span.
+class PhaseStat {
+ public:
+  void add_ns(std::uint64_t ns) {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const { return ns_.load(std::memory_order_relaxed); }
+  void reset() {
+    calls_.store(0, std::memory_order_relaxed);
+    ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry. Intentionally leaked (never destroyed) so
+  /// exit hooks and static destructors can always use it safely.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bucket bounds are fixed by the first registration of `name`; later
+  /// calls return the existing histogram regardless of `bounds`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  PhaseStat& phase(const std::string& name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+    struct Phase {
+      std::string name;
+      std::uint64_t calls = 0;
+      double wall_ms = 0.0;
+    };
+    std::vector<Phase> phases;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every metric (registration survives). For tests.
+  void reset();
+
+  /// Process-start reference points (taken at first registry touch).
+  std::chrono::steady_clock::time_point start_steady() const {
+    return start_steady_;
+  }
+  std::chrono::system_clock::time_point start_system() const {
+    return start_system_;
+  }
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<PhaseStat>> phases_;
+  std::chrono::steady_clock::time_point start_steady_;
+  std::chrono::system_clock::time_point start_system_;
+};
+
+}  // namespace bibs::obs

@@ -1,0 +1,55 @@
+#pragma once
+// Umbrella header and the zero-overhead instrumentation macros used in hot
+// paths. When the CMake option BIBS_OBS is ON (the default) the build defines
+// BIBS_OBS_ENABLED=1 and the macros expand to one-time handle registration
+// plus a relaxed atomic op per event; when OFF they compile to nothing, so
+// instrumented hot loops carry zero extra code.
+//
+// Usage:
+//   BIBS_COUNTER(c_patterns, "fault_sim.patterns");  // once per scope
+//   BIBS_COUNTER_ADD(c_patterns, lanes);             // per event
+//   BIBS_SPAN("fault_sim.run");                      // RAII scope timer
+//
+// Note: with BIBS_OBS=OFF the argument expressions of *_ADD/*_SET/*_OBSERVE
+// are not evaluated — keep them side-effect free.
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+#if defined(BIBS_OBS_ENABLED) && BIBS_OBS_ENABLED
+
+#define BIBS_OBS_CAT2(a, b) a##b
+#define BIBS_OBS_CAT(a, b) BIBS_OBS_CAT2(a, b)
+
+/// RAII span: per-phase wall-time metric + Chrome trace event when enabled.
+#define BIBS_SPAN(name) \
+  ::bibs::obs::Span BIBS_OBS_CAT(bibs_span_, __LINE__)(name)
+
+/// Resolves a stable Counter handle once (thread-safe static init).
+#define BIBS_COUNTER(var, name) \
+  static ::bibs::obs::Counter& var = \
+      ::bibs::obs::Registry::global().counter(name)
+#define BIBS_COUNTER_ADD(var, n) (var).add(static_cast<std::uint64_t>(n))
+
+#define BIBS_GAUGE(var, name) \
+  static ::bibs::obs::Gauge& var = ::bibs::obs::Registry::global().gauge(name)
+#define BIBS_GAUGE_SET(var, v) (var).set(static_cast<double>(v))
+
+#define BIBS_HISTOGRAM(var, name, bounds) \
+  static ::bibs::obs::Histogram& var = \
+      ::bibs::obs::Registry::global().histogram(name, bounds)
+#define BIBS_HISTOGRAM_OBSERVE(var, v) (var).observe(static_cast<double>(v))
+
+#else  // BIBS_OBS disabled: everything compiles away.
+
+#define BIBS_SPAN(name) ((void)0)
+#define BIBS_COUNTER(var, name) ((void)0)
+#define BIBS_COUNTER_ADD(var, n) ((void)0)
+#define BIBS_GAUGE(var, name) ((void)0)
+#define BIBS_GAUGE_SET(var, v) ((void)0)
+#define BIBS_HISTOGRAM(var, name, bounds) ((void)0)
+#define BIBS_HISTOGRAM_OBSERVE(var, v) ((void)0)
+
+#endif

@@ -1,0 +1,32 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bibs::obs {
+
+ProgressFn stderr_progress() {
+  return [](const Progress& p) {
+    std::fprintf(stderr, "\r[%s] %lld", p.phase,
+                 static_cast<long long>(p.done));
+    if (p.total >= 0)
+      std::fprintf(stderr, "/%lld", static_cast<long long>(p.total));
+    if (p.faults_detected >= 0)
+      std::fprintf(stderr, "  detected %lld",
+                   static_cast<long long>(p.faults_detected));
+    if (p.faults_live >= 0)
+      std::fprintf(stderr, "  live %lld", static_cast<long long>(p.faults_live));
+    if (p.coverage >= 0.0)
+      std::fprintf(stderr, "  coverage %.2f%%", 100.0 * p.coverage);
+    std::fprintf(stderr, "    ");
+    std::fflush(stderr);
+  };
+}
+
+ProgressFn progress_from_env() {
+  const char* v = std::getenv("BIBS_PROGRESS");
+  if (!v || !*v || (v[0] == '0' && v[1] == '\0')) return {};
+  return stderr_progress();
+}
+
+}  // namespace bibs::obs

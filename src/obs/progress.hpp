@@ -1,0 +1,37 @@
+#pragma once
+// Progress events emitted by the long-running engine phases (PPSFP fault
+// simulation, BIST session emulation, TPG synthesis) so CLIs can show live
+// status on multi-million-pattern runs. The callback is invoked from the
+// emitting thread at a coarse cadence (never from the innermost loop); an
+// empty std::function disables it with a single branch per block.
+
+#include <cstdint>
+#include <functional>
+
+namespace bibs::obs {
+
+struct Progress {
+  /// Emitting phase, e.g. "fault_sim", "session", "tpg_synth".
+  const char* phase = "";
+  /// Work units processed so far (patterns / cycles / slots).
+  std::int64_t done = 0;
+  /// Total work units, -1 when open-ended.
+  std::int64_t total = -1;
+  /// Undetected faults still being simulated; -1 when not applicable.
+  std::int64_t faults_live = -1;
+  /// Faults detected so far; -1 when not applicable.
+  std::int64_t faults_detected = -1;
+  /// Fault coverage so far in [0, 1]; -1 when not applicable.
+  double coverage = -1.0;
+};
+
+using ProgressFn = std::function<void(const Progress&)>;
+
+/// A ProgressFn rendering single-line "\r"-refreshed updates to stderr.
+ProgressFn stderr_progress();
+
+/// stderr_progress() when the BIBS_PROGRESS environment variable is set to
+/// anything but "" or "0"; an empty (disabled) function otherwise.
+ProgressFn progress_from_env();
+
+}  // namespace bibs::obs

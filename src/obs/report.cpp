@@ -1,0 +1,112 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "obs/trace.hpp"
+
+#ifndef BIBS_GIT_DESCRIBE
+#define BIBS_GIT_DESCRIBE "unknown"
+#endif
+
+namespace bibs::obs {
+
+Report Report::collect() {
+  Registry& reg = Registry::global();
+  Report r;
+  r.git_describe = BIBS_GIT_DESCRIBE;
+#if defined(BIBS_OBS_ENABLED) && BIBS_OBS_ENABLED
+  r.obs_compiled = true;
+#endif
+  r.started_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          reg.start_system().time_since_epoch())
+          .count();
+  r.wall_time_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - reg.start_steady())
+                       .count();
+  r.metrics = reg.snapshot();
+  return r;
+}
+
+Json Report::to_json() const {
+  Json root = Json::object();
+  root["bibs_report_version"] = Json(1);
+  root["git_describe"] = Json(git_describe);
+  root["obs_compiled"] = Json(obs_compiled);
+  root["started_unix_ms"] = Json(started_unix_ms);
+  root["wall_time_ms"] = Json(wall_time_ms);
+
+  Json phases = Json::object();
+  for (const auto& p : metrics.phases) {
+    Json entry = Json::object();
+    entry["calls"] = Json(p.calls);
+    entry["wall_ms"] = Json(p.wall_ms);
+    phases[p.name] = std::move(entry);
+  }
+  root["phases"] = std::move(phases);
+
+  Json counters = Json::object();
+  for (const auto& [name, v] : metrics.counters) counters[name] = Json(v);
+  root["counters"] = std::move(counters);
+
+  Json gauges = Json::object();
+  for (const auto& [name, v] : metrics.gauges) gauges[name] = Json(v);
+  root["gauges"] = std::move(gauges);
+
+  Json histograms = Json::object();
+  for (const auto& [name, h] : metrics.histograms) {
+    Json entry = Json::object();
+    Json bounds = Json::array();
+    for (double b : h.bounds) bounds.push_back(Json(b));
+    Json counts = Json::array();
+    for (std::uint64_t c : h.counts) counts.push_back(Json(c));
+    entry["bounds"] = std::move(bounds);
+    entry["counts"] = std::move(counts);
+    entry["total"] = Json(h.total);
+    entry["sum"] = Json(h.sum);
+    histograms[name] = std::move(entry);
+  }
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+std::string Report::to_json_string() const { return to_json().dump(); }
+
+bool write_report(const std::string& path) {
+  const std::string text = Report::collect().to_json_string();
+  if (path == "-") {
+    std::cerr << text << "\n";
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text << "\n";
+  return out.good();
+}
+
+bool write_report_from_env() {
+  const char* path = std::getenv("BIBS_METRICS");
+  if (!path || !*path) return false;
+  return write_report(path);
+}
+
+namespace detail {
+
+namespace {
+void shutdown_hook() {
+  TraceWriter::instance().flush();
+  write_report_from_env();
+}
+}  // namespace
+
+void ensure_shutdown_hook() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit(shutdown_hook); });
+}
+
+}  // namespace detail
+
+}  // namespace bibs::obs

@@ -1,0 +1,58 @@
+#pragma once
+// Machine-readable end-of-run report: a JSON snapshot of every metric plus
+// build identity and wall time, giving bench/example outputs a stable,
+// diffable producer. Schema (version 1):
+//
+//   {
+//     "bibs_report_version": 1,
+//     "git_describe": "<git describe --always --dirty at configure time>",
+//     "obs_compiled": true,            // BIBS_OBS build option
+//     "started_unix_ms": 1712345678901,
+//     "wall_time_ms": 1234.5,
+//     "phases":     { "<span name>": {"calls": n, "wall_ms": x}, ... },
+//     "counters":   { "<name>": n, ... },
+//     "gauges":     { "<name>": x, ... },
+//     "histograms": { "<name>": {"bounds": [...], "counts": [...],
+//                                "total": n, "sum": x}, ... }
+//   }
+//
+// Reports are written explicitly with write_report(), or automatically at
+// process exit to the path in BIBS_METRICS (any instrumented binary — the
+// bench_* drivers and examples — becomes a producer with no code changes).
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace bibs::obs {
+
+struct Report {
+  std::string git_describe;
+  bool obs_compiled = false;
+  std::int64_t started_unix_ms = 0;
+  double wall_time_ms = 0.0;
+  Registry::Snapshot metrics;
+
+  /// Snapshot of the global registry, stamped with build identity and the
+  /// wall time since the registry was first touched.
+  static Report collect();
+
+  Json to_json() const;
+  std::string to_json_string() const;
+};
+
+/// Writes Report::collect() to `path` ("-" writes to stderr). Returns false
+/// on I/O failure.
+bool write_report(const std::string& path);
+
+/// Writes to the path in BIBS_METRICS when set; returns whether a report was
+/// written. Called automatically at process exit.
+bool write_report_from_env();
+
+namespace detail {
+/// Arms the process-exit hook (trace flush + BIBS_METRICS report) once.
+void ensure_shutdown_hook();
+}  // namespace detail
+
+}  // namespace bibs::obs

@@ -1,0 +1,114 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace bibs::obs {
+
+namespace {
+
+std::uint64_t this_thread_id() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffffu;
+}
+
+double us_since_start() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             now - Registry::global().start_steady())
+      .count();
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter() {
+  detail::ensure_shutdown_hook();
+  if (const char* path = std::getenv("BIBS_TRACE"); path && *path)
+    enable(path);
+}
+
+TraceWriter& TraceWriter::instance() {
+  static TraceWriter* w = new TraceWriter();  // leaked: see header
+  return *w;
+}
+
+void TraceWriter::enable(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceWriter::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceWriter::complete_event(const char* name, const char* cat,
+                                 double ts_us, double dur_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({name, cat, 'X', ts_us, dur_us, this_thread_id()});
+}
+
+void TraceWriter::instant_event(const char* name, const char* cat) {
+  if (!enabled()) return;
+  const double ts = us_since_start();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({name, cat, 'i', ts, 0.0, this_thread_id()});
+}
+
+bool TraceWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return false;
+  Json root = Json::object();
+  Json arr = Json::array();
+  for (const Event& e : events_) {
+    Json ev = Json::object();
+    ev["name"] = Json(e.name);
+    ev["cat"] = Json(e.cat);
+    ev["ph"] = Json(std::string(1, e.ph));
+    ev["ts"] = Json(e.ts);
+    if (e.ph == 'X') ev["dur"] = Json(e.dur);
+    ev["pid"] = Json(1);
+    ev["tid"] = Json(e.tid);
+    arr.push_back(std::move(ev));
+  }
+  root["traceEvents"] = std::move(arr);
+  root["displayTimeUnit"] = Json("ms");
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return false;
+  out << root.dump() << "\n";
+  return out.good();
+}
+
+const std::string TraceWriter::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+std::size_t TraceWriter::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Span::Span(const char* name, const char* cat)
+    : name_(name), cat_(cat), t0_(std::chrono::steady_clock::now()) {}
+
+Span::~Span() {
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_).count());
+  Registry::global().phase(name_).add_ns(ns);
+  TraceWriter& w = TraceWriter::instance();
+  if (w.enabled()) {
+    const double ts = std::chrono::duration<double, std::micro>(
+                          t0_ - Registry::global().start_steady())
+                          .count();
+    w.complete_event(name_, cat_, ts, static_cast<double>(ns) / 1e3);
+  }
+}
+
+}  // namespace bibs::obs

@@ -1,0 +1,81 @@
+#pragma once
+// RAII scoped timers (spans) that feed the per-phase wall-time metrics and,
+// when tracing is armed, emit Chrome trace-event JSON loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing is armed by the BIBS_TRACE=<path> environment variable (read on
+// first use) or programmatically via TraceWriter::instance().enable(path).
+// When tracing is off a Span costs two steady_clock reads and two relaxed
+// atomic adds; with BIBS_OBS=OFF builds the BIBS_SPAN macro compiles to
+// nothing at all (see obs/obs.hpp).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bibs::obs {
+
+class TraceWriter {
+ public:
+  /// The process-wide writer (leaked, like Registry). First touch arms the
+  /// exit hook that flushes buffered events.
+  static TraceWriter& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Starts buffering events; they are written to `path` by flush().
+  void enable(std::string path);
+  /// Stops buffering; already-buffered events are kept until flush().
+  void disable();
+
+  /// Complete event ("ph":"X"); timestamps are microseconds since process
+  /// start. No-op while disabled.
+  void complete_event(const char* name, const char* cat, double ts_us,
+                      double dur_us);
+  /// Instant event ("ph":"i") stamped now. No-op while disabled.
+  void instant_event(const char* name, const char* cat);
+
+  /// Writes all buffered events as {"traceEvents":[...]} to the enable()d
+  /// path. Returns false when never enabled. Safe to call repeatedly; runs
+  /// automatically at process exit.
+  bool flush();
+
+  const std::string path() const;
+  std::size_t event_count() const;
+
+ private:
+  TraceWriter();
+
+  struct Event {
+    std::string name;
+    std::string cat;
+    char ph;
+    double ts;
+    double dur;
+    std::uint64_t tid;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::string path_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII scoped timer: accumulates into Registry::phase(name) and, when the
+/// TraceWriter is enabled, emits one complete trace event on destruction.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "bibs");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace bibs::obs

@@ -1,5 +1,7 @@
 #include "sim/lane_engine.hpp"
 
+#include "obs/obs.hpp"
+
 namespace bibs::sim {
 
 using gate::Gate;
@@ -30,6 +32,8 @@ void LaneEngine::set_dff_state(NetId dff, std::uint64_t word) {
 }
 
 void LaneEngine::eval() {
+  BIBS_COUNTER(c_evals, "lane_engine.evals");
+  BIBS_COUNTER_ADD(c_evals, 1);
   for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id) {
     const Gate& g = nl_->gate(id);
     if (g.type == GateType::kDff)
@@ -72,6 +76,8 @@ std::uint64_t LaneEngine::next_with_pin_faults(NetId dff,
 }
 
 void LaneEngine::clock() {
+  BIBS_COUNTER(c_clocks, "lane_engine.clocks");
+  BIBS_COUNTER_ADD(c_clocks, 1);
   for (NetId d : nl_->dffs()) {
     const Gate& g = nl_->gate(d);
     BIBS_ASSERT(g.fanin.size() == 1);

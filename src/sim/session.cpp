@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "gate/sim.hpp"
+#include "obs/obs.hpp"
 #include "sim/lane_engine.hpp"
 #include "lfsr/lfsr.hpp"
 #include "lfsr/misr.hpp"
@@ -20,6 +21,7 @@ BistSession::BistSession(const rtl::Netlist& n, const gate::Elaboration& elab,
                          const core::BilboSet& bilbo,
                          const core::Kernel& kernel)
     : n_(&n), elab_(&elab), kernel_(&kernel) {
+  BIBS_SPAN("session.build");
   const tpg::GeneralizedStructure s = core::kernel_structure(n, bilbo, kernel);
   tpg_ = tpg::mc_tpg(s);
   depth_ = s.max_depth();
@@ -68,8 +70,20 @@ fault::FaultList BistSession::kernel_faults() const {
   return fault::FaultList::from_faults(std::move(kept));
 }
 
+void BistSession::set_progress(obs::ProgressFn fn, std::int64_t every_cycles) {
+  BIBS_ASSERT(every_cycles > 0);
+  progress_ = std::move(fn);
+  progress_every_ = every_cycles;
+}
+
 SessionReport BistSession::run(const fault::FaultList& faults,
                                std::int64_t cycles) const {
+  BIBS_SPAN("session.run");
+  BIBS_COUNTER(c_cycles, "session.cycles");
+  BIBS_COUNTER(c_batches, "session.batches");
+  BIBS_GAUGE(g_coverage, "session.coverage");
+  BIBS_GAUGE(g_aliased, "session.aliased");
+
   if (cycles < 0)
     cycles = static_cast<std::int64_t>(tpg_.pattern_count()) + depth_;
 
@@ -77,6 +91,14 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   rep.cycles = cycles;
   rep.total_faults = faults.size();
   rep.golden_signatures.assign(output_d_.size(), 0);
+
+  // Progress is reported across all fault batches: each batch of up to 63
+  // faults re-runs the full `cycles` clocks.
+  const std::int64_t total_work =
+      cycles * std::max<std::int64_t>(
+                   1, static_cast<std::int64_t>((faults.size() + 62) / 63));
+  std::int64_t work_done = 0;
+  std::int64_t next_progress = progress_every_;
 
   int max_shift = 0;
   for (const auto& labels : tpg_.cell_label)
@@ -137,7 +159,27 @@ SessionReport BistSession::run(const fault::FaultList& faults,
       gen.step();
       hist.push_front(gen.stage(1));
       hist.pop_back();
+
+      ++work_done;
+      if (progress_ && work_done >= next_progress) {
+        obs::Progress p;
+        p.phase = "session";
+        p.done = work_done;
+        p.total = total_work;
+        p.faults_detected = static_cast<std::int64_t>(
+            std::count(det_sig.begin(), det_sig.end(), 1));
+        p.faults_live =
+            static_cast<std::int64_t>(faults.size()) - p.faults_detected;
+        p.coverage = faults.size() == 0
+                         ? 1.0
+                         : static_cast<double>(p.faults_detected) /
+                               static_cast<double>(faults.size());
+        progress_(p);
+        next_progress = work_done + progress_every_;
+      }
     }
+    BIBS_COUNTER_ADD(c_cycles, cycles);
+    BIBS_COUNTER_ADD(c_batches, 1);
 
     for (std::size_t k = 0; k < batch; ++k) {
       if ((out_diff_seen >> (k + 1)) & 1u) det_out[base + k] = 1;
@@ -158,6 +200,27 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   rep.detected_by_signature =
       static_cast<std::size_t>(std::count(det_sig.begin(), det_sig.end(), 1));
   rep.aliased = rep.detected_at_outputs - rep.detected_by_signature;
+
+  BIBS_GAUGE_SET(g_coverage,
+                 rep.total_faults == 0
+                     ? 1.0
+                     : static_cast<double>(rep.detected_by_signature) /
+                           static_cast<double>(rep.total_faults));
+  BIBS_GAUGE_SET(g_aliased, rep.aliased);
+  if (progress_) {
+    obs::Progress p;
+    p.phase = "session";
+    p.done = work_done;
+    p.total = total_work;
+    p.faults_detected = static_cast<std::int64_t>(rep.detected_by_signature);
+    p.faults_live = static_cast<std::int64_t>(rep.total_faults) -
+                    p.faults_detected;
+    p.coverage = rep.total_faults == 0
+                     ? 1.0
+                     : static_cast<double>(rep.detected_by_signature) /
+                           static_cast<double>(rep.total_faults);
+    progress_(p);
+  }
   return rep;
 }
 

@@ -15,6 +15,7 @@
 #include "core/kernels.hpp"
 #include "fault/fault.hpp"
 #include "gate/synth.hpp"
+#include "obs/progress.hpp"
 #include "tpg/design.hpp"
 
 namespace bibs::sim {
@@ -50,12 +51,19 @@ class BistSession {
   SessionReport run(const fault::FaultList& faults,
                     std::int64_t cycles = -1) const;
 
+  /// Installs a progress callback invoked from run() roughly every
+  /// `every_cycles` emulated clock cycles (across all 63-fault batches) and
+  /// once more when the run ends. Pass an empty function to disable.
+  void set_progress(obs::ProgressFn fn, std::int64_t every_cycles = 4096);
+
  private:
   const rtl::Netlist* n_;
   const gate::Elaboration* elab_;
   const core::Kernel* kernel_;
   tpg::TpgDesign tpg_;
   int depth_ = 0;
+  obs::ProgressFn progress_;
+  std::int64_t progress_every_ = 4096;
 
   /// Gate nets belonging to the kernel's cone (fault sites).
   std::vector<gate::NetId> cone_;

@@ -12,6 +12,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "tpg/design.hpp"
 
 namespace bibs::tpg {
@@ -114,9 +115,17 @@ TpgDesign build(const GeneralizedStructure& s) {
 
 }  // namespace
 
-TpgDesign mc_tpg(const GeneralizedStructure& s) { return build(s); }
+TpgDesign mc_tpg(const GeneralizedStructure& s) {
+  BIBS_SPAN("tpg.mc_tpg");
+  BIBS_COUNTER(c_designs, "tpg.designs");
+  BIBS_COUNTER_ADD(c_designs, 1);
+  return build(s);
+}
 
 TpgDesign sc_tpg(const GeneralizedStructure& s) {
+  BIBS_SPAN("tpg.sc_tpg");
+  BIBS_COUNTER(c_designs, "tpg.designs");
+  BIBS_COUNTER_ADD(c_designs, 1);
   if (s.cones.size() != 1)
     throw DesignError("sc_tpg requires a single-cone structure (got " +
                       std::to_string(s.cones.size()) + " cones)");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
+
 namespace bibs::tpg {
 
 using gate::GateType;
@@ -15,7 +17,11 @@ std::size_t SynthesizedTpg::feedback_xors() const {
   return n;
 }
 
-SynthesizedTpg synthesize_tpg(const TpgDesign& d) {
+SynthesizedTpg synthesize_tpg(const TpgDesign& d,
+                              const obs::ProgressFn& progress) {
+  BIBS_SPAN("tpg.synthesize");
+  BIBS_COUNTER(c_tpgs, "tpg.synthesized");
+  BIBS_COUNTER(c_ffs, "tpg.synthesized_ffs");
   BIBS_ASSERT(!d.slots.empty());
   SynthesizedTpg out;
   out.min_label = d.min_label;
@@ -24,11 +30,21 @@ SynthesizedTpg synthesize_tpg(const TpgDesign& d) {
   for (const TpgSlot& s : d.slots) max_label = std::max(max_label, s.label);
   const int nlabels = max_label - d.min_label + 1;
 
+  const auto emit_progress = [&](std::int64_t done) {
+    if (!progress) return;
+    obs::Progress p;
+    p.phase = "tpg_synth";
+    p.done = done;
+    p.total = static_cast<std::int64_t>(d.slots.size());
+    progress(p);
+  };
+
   // One DFF per physical slot; remember the driving (last) slot per label.
   std::vector<NetId> slot_q;
   std::vector<int> driver_slot(static_cast<std::size_t>(nlabels), -1);
   for (std::size_t si = 0; si < d.slots.size(); ++si) {
     const TpgSlot& s = d.slots[si];
+    if (progress && si % 64 == 0) emit_progress(static_cast<std::int64_t>(si));
     std::string name =
         s.reg >= 0 ? d.structure.registers[static_cast<std::size_t>(s.reg)]
                              .name +
@@ -90,6 +106,9 @@ SynthesizedTpg synthesize_tpg(const TpgDesign& d) {
                                   std::to_string(j) + "]");
     }
   out.netlist.validate();
+  BIBS_COUNTER_ADD(c_tpgs, 1);
+  BIBS_COUNTER_ADD(c_ffs, d.slots.size());
+  emit_progress(static_cast<std::int64_t>(d.slots.size()));
   return out;
 }
 

@@ -16,6 +16,7 @@
 // can watch exactly what the kernel's input registers would receive.
 
 #include "gate/netlist.hpp"
+#include "obs/progress.hpp"
 #include "tpg/design.hpp"
 
 namespace bibs::tpg {
@@ -33,7 +34,10 @@ struct SynthesizedTpg {
 };
 
 /// Synthesizes the TPG. The netlist is autonomous (no PIs); seed it by
-/// setting DFF states and clock it with gate::Simulator.
-SynthesizedTpg synthesize_tpg(const TpgDesign& d);
+/// setting DFF states and clock it with gate::Simulator. `progress` (when
+/// non-empty) is invoked per chunk of synthesized slots — TPGs are usually
+/// small, but design-space sweeps synthesize thousands of them.
+SynthesizedTpg synthesize_tpg(const TpgDesign& d,
+                              const obs::ProgressFn& progress = {});
 
 }  // namespace bibs::tpg

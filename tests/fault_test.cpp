@@ -234,6 +234,29 @@ TEST(CoverageCurve, EmptyCurve) {
   EXPECT_EQ(c.detected_count(), 0u);
 }
 
+TEST(CoverageCurve, PatternsForFractionEdges) {
+  // fraction == 1.0 exactly: the pattern count at which the last
+  // ever-detected fault fell, never one past it (float round-off guard).
+  CoverageCurve c;
+  c.detected_at = {7, CoverageCurve::kUndetected, 0};
+  c.patterns_run = 64;
+  EXPECT_EQ(c.patterns_for_fraction(1.0), 8);
+  // A fraction tiny enough that ceil() would select zero faults still
+  // selects the first one.
+  EXPECT_EQ(c.patterns_for_fraction(1e-12), 1);
+
+  // Zero detected faults: nothing to cover, 0 for every valid fraction.
+  CoverageCurve none;
+  none.detected_at = {CoverageCurve::kUndetected, CoverageCurve::kUndetected};
+  none.patterns_run = 64;
+  EXPECT_EQ(none.patterns_for_fraction(0.5), 0);
+  EXPECT_EQ(none.patterns_for_fraction(1.0), 0);
+
+  // The documented domain is (0, 1]; outside it is an invariant violation.
+  EXPECT_THROW(c.patterns_for_fraction(0.0), bibs::InternalError);
+  EXPECT_THROW(c.patterns_for_fraction(1.5), bibs::InternalError);
+}
+
 TEST(Simulator, StallLimitStopsEarly) {
   const Netlist nl = adder4();
   // s-a faults on the carry-out are hard for constant-0 patterns; an all-0
