@@ -20,7 +20,9 @@
 #include "rtl/edif.hpp"
 #include "sim/testplan.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace bibs;
   std::string path;
   std::string tdm = "bibs";
@@ -93,4 +95,17 @@ int main(int argc, char** argv) {
     std::cerr << "tracing to " << obs::TraceWriter::instance().path()
               << " (load in chrome://tracing or ui.perfetto.dev)\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The phases above catch and annotate their own errors; this is the last
+  // line of defense so no bibs::Error ever escapes as std::terminate.
+  try {
+    return run(argc, argv);
+  } catch (const bibs::Error& e) {
+    std::cerr << "bibs_cli: " << e.what() << "\n";
+    return 1;
+  }
 }

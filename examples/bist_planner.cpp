@@ -10,7 +10,9 @@
 #include "gate/synth.hpp"
 #include "sim/testplan.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace bibs;
 
   const std::string which = argc > 1 ? argv[1] : "c3a2m";
@@ -37,4 +39,15 @@ int main(int argc, char** argv) {
             << ka_plan.bilbo.size() << " BILBOs, " << ka_plan.total_test_time()
             << " clocks total — the paper's hardware/test-time trade-off.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const bibs::Error& e) {
+    std::cerr << "bist_planner: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -21,11 +21,22 @@
 #include "core/report.hpp"
 #include "gate/synth.hpp"
 #include "obs/obs.hpp"
+#include "rt/control.hpp"
 #include "sim/session.hpp"
 #include "tpg/synthesize.hpp"
 
-int main() {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace bibs;
+
+  // --deadline-ms N bounds every simulated session by wall-clock time; a
+  // session that runs out prints its (partial) coverage and the reason.
+  rt::RunControl ctl;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--deadline-ms" && i + 1 < argc)
+      ctl.deadline =
+          rt::Deadline::in(std::chrono::milliseconds(std::atoll(argv[++i])));
 
   const rtl::Netlist n = circuits::make_c5a2m();
   std::cout << "c5a2m: o = (a+b)*(c+d) + (e+f)*(g+h), 8-bit operands\n";
@@ -65,16 +76,24 @@ int main() {
             std::to_string(faults.size()) + ")");
     t.header({"cycles", "detected @ outputs", "detected by signature",
               "aliased"});
+    bool out_of_time = false;
     for (std::int64_t cycles : {256, 1024, 4096, 16384}) {
-      const sim::SessionReport rep = session.run(faults, cycles);
+      const sim::SessionReport rep = session.run(faults, cycles, ctl);
       t.row({Table::num(static_cast<long long>(cycles)),
              Table::num(static_cast<long long>(rep.detected_at_outputs)),
              Table::num(static_cast<long long>(rep.detected_by_signature)),
              Table::num(static_cast<long long>(rep.aliased))});
+      if (rep.status != rt::RunStatus::kFinished) {
+        std::cout << "  (session stopped early: " << rt::to_string(rep.status)
+                  << "; rows below reflect completed fault batches only)\n";
+        out_of_time = true;
+        break;
+      }
     }
     t.print(std::cout);
+    if (out_of_time) break;
 
-    const sim::SessionReport rep = session.run(faults, 4096);
+    const sim::SessionReport rep = session.run(faults, 4096, ctl);
     std::cout << "\ngolden signatures after 4,096 cycles:";
     for (std::size_t i = 0; i < rep.golden_signatures.size(); ++i)
       std::cout << " 0x" << std::hex << rep.golden_signatures[i] << std::dec;
@@ -90,4 +109,15 @@ int main() {
     std::cerr << "tracing to " << obs::TraceWriter::instance().path()
               << " (load in chrome://tracing or ui.perfetto.dev)\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const bibs::Error& e) {
+    std::cerr << "datapath_bist: " << e.what() << "\n";
+    return 1;
+  }
 }

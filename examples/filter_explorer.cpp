@@ -11,7 +11,9 @@
 #include "core/report.hpp"
 #include "gate/synth.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace bibs;
 
   Table t("BIBS vs KA85 across FIR data paths (8-bit)");
@@ -44,4 +46,15 @@ int main() {
       "feeds a multiplier or adder port — the gap grows linearly with taps,\n"
       "and so does the maximal delay penalty of [3].\n";
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const bibs::Error& e) {
+    std::cerr << "filter_explorer: " << e.what() << "\n";
+    return 1;
+  }
 }

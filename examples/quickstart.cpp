@@ -15,7 +15,9 @@
 #include "tpg/design.hpp"
 #include "tpg/exhaustive.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace bibs;
 
   // A small pipelined design in the bibs netlist format: two operand
@@ -74,4 +76,15 @@ reg    ACC y y_r 4
               << " = " << d.test_time(depth) << " clock cycles\n\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const bibs::Error& e) {
+    std::cerr << "quickstart: " << e.what() << "\n";
+    return 1;
+  }
 }

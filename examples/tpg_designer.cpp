@@ -40,7 +40,9 @@ GeneralizedStructure single(const std::vector<int>& widths,
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   show("Example 2 / Figure 13: d = (2,1,0)", sc_tpg(single({4, 4, 4}, {2, 1, 0})));
   show("Example 3 / Figure 15: d = (1,2,0), shared stage L4",
        sc_tpg(single({4, 4, 4}, {1, 2, 0})));
@@ -83,4 +85,15 @@ int main() {
             << "-stage MC_TPG design because the register-level procedure "
                "cannot use sequential-length information\n";
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const bibs::Error& e) {
+    std::cerr << "tpg_designer: " << e.what() << "\n";
+    return 1;
+  }
 }

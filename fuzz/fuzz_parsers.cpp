@@ -1,0 +1,40 @@
+// libFuzzer entry point for the three text front-ends. The contract under
+// fuzzing: arbitrary bytes may produce ParseError (and, past the syntactic
+// layer, DesignError from netlist validation) but never any other escape —
+// no crashes, hangs, unbounded recursion or non-bibs exceptions. The first
+// input byte selects the parser so one corpus exercises all of them.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "gate/bench_format.hpp"
+#include "rtl/edif.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/sexpr.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+  try {
+    switch (data[0] & 3) {
+      case 0:
+        (void)bibs::rtl::parse_sexpr(text);
+        break;
+      case 1:
+        (void)bibs::rtl::parse_edif(text);
+        break;
+      case 2:
+        (void)bibs::gate::parse_bench(text);
+        break;
+      default:
+        (void)bibs::rtl::parse_netlist(text);
+        break;
+    }
+  } catch (const bibs::Error&) {
+    // Rejecting malformed input is the expected outcome.
+  }
+  return 0;
+}

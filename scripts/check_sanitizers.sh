@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Builds the parser/runtime-facing test binaries under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the BIBS_SANITIZE CMake option) and runs them.
+# Any sanitizer finding aborts the binary and fails this check. Scoped to
+# the tests that chew on untrusted input and the rt control plane — a full
+# sanitized suite would be too slow for a ctest (label: bibs-report).
+#
+# Usage: check_sanitizers.sh [source-dir]
+set -eu
+
+SRC=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/bibs_sanitize.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+TESTS="rt_test rtl_test bench_format_test edif_test"
+
+echo "== configure with BIBS_SANITIZE=address;undefined =="
+cmake -S "$SRC" -B "$TMP/build" -DBIBS_SANITIZE="address;undefined" \
+  > "$TMP/configure.log" 2>&1 || {
+  cat "$TMP/configure.log"
+  echo "FAIL: configure with BIBS_SANITIZE" >&2
+  exit 1
+}
+
+# shellcheck disable=SC2086  # TESTS is a deliberate word list
+cmake --build "$TMP/build" -j --target $TESTS \
+  > "$TMP/build.log" 2>&1 || {
+  tail -50 "$TMP/build.log"
+  echo "FAIL: sanitized build" >&2
+  exit 1
+}
+
+for t in $TESTS; do
+  echo "== $t (ASan+UBSan) =="
+  "$TMP/build/tests/$t" > "$TMP/$t.log" 2>&1 || {
+    tail -80 "$TMP/$t.log"
+    echo "FAIL: $t under sanitizers" >&2
+    exit 1
+  }
+done
+
+echo "OK: $TESTS clean under address+undefined sanitizers"

@@ -45,4 +45,12 @@ double Xoshiro256::next_double() {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
+std::array<std::uint64_t, 4> Xoshiro256::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Xoshiro256::set_state(const std::array<std::uint64_t, 4>& s) {
+  for (int i = 0; i < 4; ++i) s_[i] = s[i];
+}
+
 }  // namespace bibs

@@ -3,6 +3,7 @@
 // experiments used true random patterns rather than LFSR streams; we use a
 // seeded xoshiro256** so every bench run prints identical rows).
 
+#include <array>
 #include <cstdint>
 
 namespace bibs {
@@ -24,6 +25,10 @@ class Xoshiro256 {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }
   result_type operator()() { return next(); }
+
+  /// Full generator state, for checkpoint/resume (rt::SimCheckpoint).
+  std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& s);
 
  private:
   std::uint64_t s_[4];

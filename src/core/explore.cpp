@@ -29,10 +29,23 @@ DesignPoint evaluate_point(const rtl::Netlist& n, const BilboSet& b,
 
 }  // namespace
 
-std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n) {
+std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n,
+                                              const rt::RunControl& ctl,
+                                              rt::RunStatus* status) {
+  if (status) *status = rt::RunStatus::kFinished;
   const DesignResult base = design_bibs(n);
   std::vector<DesignPoint> frontier;
   frontier.push_back(evaluate_point(n, base.bilbo, base.report));
+
+  // Work units for RunControl: testability evaluations, the sweep's
+  // expensive inner step. Polled before each one; on interruption the
+  // frontier found so far is returned.
+  std::int64_t evals = 0;
+  const auto interrupted = [&] {
+    const rt::RunStatus st = ctl.interruption(evals);
+    if (st != rt::RunStatus::kFinished && status) *status = st;
+    return st != rt::RunStatus::kFinished;
+  };
 
   BilboSet current = base.bilbo;
   std::vector<rtl::ConnId> candidates;
@@ -46,8 +59,10 @@ std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n) {
     std::size_t best_i = candidates.size();
     DesignPoint best_point;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (interrupted()) return frontier;
       BilboSet t = current;
       t.insert(candidates[i]);
+      ++evals;
       const TestabilityReport rep = check_bibs_testable(n, t);
       if (!rep.ok) continue;
       const DesignPoint p = evaluate_point(n, t, rep);
@@ -67,9 +82,11 @@ std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n) {
       int pair_width = frontier.back().max_kernel_width + 1;
       for (std::size_t i = 0; i < candidates.size(); ++i)
         for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+          if (interrupted()) return frontier;
           BilboSet t = current;
           t.insert(candidates[i]);
           t.insert(candidates[j]);
+          ++evals;
           const TestabilityReport rep = check_bibs_testable(n, t);
           if (!rep.ok) continue;
           const DesignPoint p = evaluate_point(n, t, rep);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "rt/control.hpp"
 
 namespace bibs::core {
 
@@ -26,6 +27,13 @@ struct DesignPoint {
 /// Every returned point is a valid balanced-BISTable design; consecutive
 /// points add one register. Points that do not improve the maximal kernel
 /// width are dropped, so the result is a hardware-vs-test-time frontier.
-std::vector<DesignPoint> explore_design_space(const rtl::Netlist& n);
+///
+/// `ctl` is polled per testability evaluation (the expensive unit; that is
+/// also the budget's work unit). On interruption the frontier built so far
+/// is returned — every prefix is itself a valid frontier — and `status`
+/// (when non-null) receives the reason; kFinished otherwise.
+std::vector<DesignPoint> explore_design_space(
+    const rtl::Netlist& n, const rt::RunControl& ctl = {},
+    rt::RunStatus* status = nullptr);
 
 }  // namespace bibs::core

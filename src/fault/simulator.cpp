@@ -188,7 +188,9 @@ void FaultSimulator::set_progress(obs::ProgressFn fn,
 
 CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
                                   std::int64_t max_patterns,
-                                  std::int64_t stall_limit) {
+                                  std::int64_t stall_limit,
+                                  const rt::RunControl& ctl,
+                                  const rt::SimCheckpoint* resume) {
   BIBS_SPAN("fault_sim.run");
   BIBS_COUNTER(c_patterns, "fault_sim.patterns");
   BIBS_COUNTER(c_blocks, "fault_sim.blocks");
@@ -198,16 +200,32 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
                  (std::vector<double>{0, 1, 2, 4, 8, 16, 32, 64}));
 
   CoverageCurve curve;
-  curve.detected_at.assign(faults_.size(), CoverageCurve::kUndetected);
+  if (resume) {
+    if (resume->detected_at.size() != faults_.size())
+      throw DesignError("sim checkpoint fault count (" +
+                        std::to_string(resume->detected_at.size()) +
+                        ") does not match the fault list (" +
+                        std::to_string(faults_.size()) + ")");
+    if (resume->patterns_run < 0)
+      throw DesignError("sim checkpoint has negative patterns_run");
+    curve.detected_at = resume->detected_at;
+  } else {
+    curve.detected_at.assign(faults_.size(), CoverageCurve::kUndetected);
+  }
 
-  std::vector<std::size_t> live(faults_.size());
-  for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+  std::vector<std::size_t> live;
+  live.reserve(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i)
+    if (curve.detected_at[i] == CoverageCurve::kUndetected) live.push_back(i);
 
   std::vector<std::uint64_t> in_words(std::max<std::size_t>(
       nl_->inputs().size(), 1));
-  std::int64_t base = 0;
+  std::int64_t base = resume ? resume->patterns_run : 0;
   std::int64_t last_new_detection = 0;
-  std::int64_t next_progress = progress_every_;
+  for (std::int64_t d : curve.detected_at)
+    if (d != CoverageCurve::kUndetected)
+      last_new_detection = std::max(last_new_detection, d);
+  std::int64_t next_progress = base + progress_every_;
 
   const auto emit_progress = [&] {
     obs::Progress p;
@@ -227,6 +245,11 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
   };
 
   while (base < max_patterns && !live.empty()) {
+    if (const rt::RunStatus st = ctl.interruption(base);
+        st != rt::RunStatus::kFinished) {
+      curve.status = st;
+      break;
+    }
     const int lanes_wanted = static_cast<int>(
         std::min<std::int64_t>(64, max_patterns - base));
     int lanes = gen(in_words.data());
@@ -271,21 +294,27 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
 
 CoverageCurve FaultSimulator::run_random(Xoshiro256& rng,
                                          std::int64_t max_patterns,
-                                         std::int64_t stall_limit) {
+                                         std::int64_t stall_limit,
+                                         const rt::RunControl& ctl,
+                                         const rt::SimCheckpoint* resume) {
+  if (resume && resume->has_rng) resume->restore_rng(rng);
   const std::size_t nin = nl_->inputs().size();
   return run(
       [&](std::uint64_t* words) {
         for (std::size_t i = 0; i < nin; ++i) words[i] = rng.next();
         return 64;
       },
-      max_patterns, stall_limit);
+      max_patterns, stall_limit, ctl, resume);
 }
 
 CoverageCurve FaultSimulator::run_weighted(Xoshiro256& rng,
                                            double one_probability,
                                            std::int64_t max_patterns,
-                                           std::int64_t stall_limit) {
+                                           std::int64_t stall_limit,
+                                           const rt::RunControl& ctl,
+                                           const rt::SimCheckpoint* resume) {
   BIBS_ASSERT(one_probability > 0.0 && one_probability < 1.0);
+  if (resume && resume->has_rng) resume->restore_rng(rng);
   const std::size_t nin = nl_->inputs().size();
   return run(
       [&, one_probability](std::uint64_t* words) {
@@ -297,14 +326,15 @@ CoverageCurve FaultSimulator::run_weighted(Xoshiro256& rng,
         }
         return 64;
       },
-      max_patterns, stall_limit);
+      max_patterns, stall_limit, ctl, resume);
 }
 
-CoverageCurve FaultSimulator::run_exhaustive() {
+CoverageCurve FaultSimulator::run_exhaustive(const rt::RunControl& ctl,
+                                             const rt::SimCheckpoint* resume) {
   const std::size_t nin = nl_->inputs().size();
   BIBS_ASSERT(nin <= 30);
   const std::int64_t total = 1ll << nin;
-  std::int64_t next = 0;
+  std::int64_t next = resume ? resume->patterns_run : 0;
   return run(
       [&](std::uint64_t* words) {
         const int lanes =
@@ -319,7 +349,17 @@ CoverageCurve FaultSimulator::run_exhaustive() {
         next += lanes;
         return lanes;
       },
-      total);
+      total, std::numeric_limits<std::int64_t>::max(), ctl, resume);
+}
+
+rt::SimCheckpoint FaultSimulator::make_checkpoint(const CoverageCurve& curve,
+                                                  const Xoshiro256* rng) const {
+  BIBS_ASSERT(curve.detected_at.size() == faults_.size());
+  rt::SimCheckpoint ck;
+  ck.patterns_run = curve.patterns_run;
+  ck.detected_at = curve.detected_at;
+  if (rng) ck.capture_rng(*rng);
+  return ck;
 }
 
 bool FaultSimulator::detects_naive(const Fault& f,

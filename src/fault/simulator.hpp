@@ -19,6 +19,8 @@
 #include "fault/fault.hpp"
 #include "gate/netlist.hpp"
 #include "obs/progress.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/control.hpp"
 
 namespace bibs::fault {
 
@@ -31,6 +33,9 @@ struct CoverageCurve {
   std::vector<std::int64_t> detected_at;
   /// Number of patterns that were simulated in total.
   std::int64_t patterns_run = 0;
+  /// How the run ended; anything but kFinished marks a partial curve that
+  /// can be checkpointed (make_checkpoint) and resumed later.
+  rt::RunStatus status = rt::RunStatus::kFinished;
 
   std::size_t total_faults() const { return detected_at.size(); }
   std::size_t detected_count() const;
@@ -62,28 +67,46 @@ class FaultSimulator {
 
   /// Runs up to max_patterns from the generator. Stops early when all faults
   /// are detected or when `stall_limit` consecutive patterns bring no new
-  /// detection.
+  /// detection. `ctl` is polled once per 64-pattern block: an interrupted
+  /// run stops within one block and returns a partial curve whose `status`
+  /// says why. `resume` (when non-null) continues a checkpointed run:
+  /// detection state and pattern position are restored and, driven by the
+  /// same generator stream, the final curve is bit-exactly the one an
+  /// uninterrupted run would have produced.
   CoverageCurve run(const PatternBlockFn& gen, std::int64_t max_patterns,
                     std::int64_t stall_limit =
-                        std::numeric_limits<std::int64_t>::max());
+                        std::numeric_limits<std::int64_t>::max(),
+                    const rt::RunControl& ctl = {},
+                    const rt::SimCheckpoint* resume = nullptr);
 
-  /// Uniform random patterns from `rng`.
+  /// Uniform random patterns from `rng`. On resume, a PRNG state captured
+  /// in the checkpoint is restored into `rng` first.
   CoverageCurve run_random(Xoshiro256& rng, std::int64_t max_patterns,
                            std::int64_t stall_limit =
-                               std::numeric_limits<std::int64_t>::max());
+                               std::numeric_limits<std::int64_t>::max(),
+                           const rt::RunControl& ctl = {},
+                           const rt::SimCheckpoint* resume = nullptr);
 
   /// Weighted random patterns: every input bit is 1 with probability
   /// `one_probability` (the classic countermeasure to random-pattern-
   /// resistant faults, e.g. long AND/carry chains that want mostly-1
-  /// operands). one_probability in (0, 1).
+  /// operands). one_probability in (0, 1). Resume as in run_random.
   CoverageCurve run_weighted(Xoshiro256& rng, double one_probability,
                              std::int64_t max_patterns,
                              std::int64_t stall_limit =
-                                 std::numeric_limits<std::int64_t>::max());
+                                 std::numeric_limits<std::int64_t>::max(),
+                             const rt::RunControl& ctl = {},
+                             const rt::SimCheckpoint* resume = nullptr);
 
   /// All 2^n input patterns (n = number of PIs, n <= 30): the ground truth
   /// for which faults are detectable at all.
-  CoverageCurve run_exhaustive();
+  CoverageCurve run_exhaustive(const rt::RunControl& ctl = {},
+                               const rt::SimCheckpoint* resume = nullptr);
+
+  /// Snapshot of a (partial) run for later resume; captures `rng` when the
+  /// curve came from run_random / run_weighted.
+  rt::SimCheckpoint make_checkpoint(const CoverageCurve& curve,
+                                    const Xoshiro256* rng = nullptr) const;
 
   /// Reference implementation: serial single-pattern, full re-simulation.
   /// Used to cross-check the event-driven engine in tests.

@@ -1,10 +1,10 @@
 #include "gate/bench_format.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <cctype>
 #include <map>
 #include <sstream>
+#include <unordered_set>
 
 namespace bibs::gate {
 
@@ -23,12 +23,25 @@ std::string upper(std::string s) {
   return s;
 }
 
-[[noreturn]] void fail(int line, const std::string& why) {
-  throw ParseError("bench line " + std::to_string(line) + ": " + why);
+// All bench diagnostics carry a 1-based line:column position.
+[[noreturn]] void fail(int line, int col, const std::string& why) {
+  throw ParseError("bench " + std::to_string(line) + ":" + std::to_string(col) +
+                   ": " + why);
 }
+
+// Signal resolution recurses along fan-in chains; bound the depth so a
+// pathological (or hostile) netlist cannot overflow the stack.
+constexpr int kMaxResolveDepth = 4096;
+
+struct Decl {
+  std::string name;
+  int line = 0;
+  int col = 1;
+};
 
 struct PendingGate {
   int line;
+  int col = 1;
   std::string name;
   std::string type;
   std::vector<std::string> operands;
@@ -38,7 +51,7 @@ struct PendingGate {
 
 Netlist parse_bench(const std::string& text) {
   // Pass 1: collect declarations.
-  std::vector<std::string> inputs, outputs;
+  std::vector<Decl> inputs, outputs;
   std::vector<PendingGate> gates;
   {
     std::istringstream in(text);
@@ -48,16 +61,25 @@ Netlist parse_bench(const std::string& text) {
       ++lineno;
       if (const auto hash = raw.find('#'); hash != std::string::npos)
         raw.erase(hash);
+      std::size_t lead = 0;
+      while (lead < raw.size() &&
+             std::isspace(static_cast<unsigned char>(raw[lead])))
+        ++lead;
       const std::string line = trim(raw);
       if (line.empty()) continue;
+      // `line` is `raw` with `lead` leading whitespace chars stripped, so an
+      // index into it maps back to a 1-based source column like this:
+      auto col_of = [&](std::size_t i) {
+        return static_cast<int>(lead + i) + 1;
+      };
 
-      auto parse_call = [&](const std::string& s)
+      auto parse_call = [&](const std::string& s, std::size_t off)
           -> std::pair<std::string, std::vector<std::string>> {
         const auto open = s.find('(');
         const auto close = s.rfind(')');
         if (open == std::string::npos || close == std::string::npos ||
             close < open)
-          fail(lineno, "expected NAME(...)");
+          fail(lineno, col_of(off), "expected NAME(...)");
         const std::string head = upper(trim(s.substr(0, open)));
         std::vector<std::string> args;
         std::string cur;
@@ -75,17 +97,22 @@ Netlist parse_bench(const std::string& text) {
 
       const auto eq = line.find('=');
       if (eq == std::string::npos) {
-        auto [head, args] = parse_call(line);
-        if (args.size() != 1) fail(lineno, head + " expects one signal");
-        if (head == "INPUT") inputs.push_back(args[0]);
-        else if (head == "OUTPUT") outputs.push_back(args[0]);
-        else fail(lineno, "unknown declaration '" + head + "'");
+        auto [head, args] = parse_call(line, 0);
+        if (args.size() != 1)
+          fail(lineno, col_of(0), head + " expects one signal");
+        if (head == "INPUT")
+          inputs.push_back({args[0], lineno, col_of(0)});
+        else if (head == "OUTPUT")
+          outputs.push_back({args[0], lineno, col_of(0)});
+        else
+          fail(lineno, col_of(0), "unknown declaration '" + head + "'");
       } else {
         PendingGate g;
         g.line = lineno;
+        g.col = col_of(0);
         g.name = trim(line.substr(0, eq));
-        if (g.name.empty()) fail(lineno, "missing signal name");
-        auto [head, args] = parse_call(line.substr(eq + 1));
+        if (g.name.empty()) fail(lineno, col_of(0), "missing signal name");
+        auto [head, args] = parse_call(line.substr(eq + 1), eq + 1);
         g.type = head;
         g.operands = std::move(args);
         gates.push_back(std::move(g));
@@ -101,62 +128,90 @@ Netlist parse_bench(const std::string& text) {
   std::map<std::string, const PendingGate*> by_name;
   for (const PendingGate& g : gates) {
     if (by_name.count(g.name))
-      fail(g.line, "signal '" + g.name + "' defined twice");
+      fail(g.line, g.col, "signal '" + g.name + "' defined twice");
     by_name[g.name] = &g;
   }
-  for (const std::string& i : inputs) {
-    if (by_name.count(i))
-      throw ParseError("bench: input '" + i + "' also has a gate definition");
-    nets[i] = nl.add_input(i);
+  for (const Decl& i : inputs) {
+    if (by_name.count(i.name))
+      fail(i.line, i.col,
+           "input '" + i.name + "' also has a gate definition");
+    nets[i.name] = nl.add_input(i.name);
   }
   // DFF outputs exist before their D cones.
   std::vector<std::pair<NetId, const PendingGate*>> dff_fixups;
   for (const PendingGate& g : gates)
     if (g.type == "DFF") {
-      if (g.operands.size() != 1) fail(g.line, "DFF expects one operand");
+      if (g.operands.size() != 1)
+        fail(g.line, g.col, "DFF expects one operand");
       nets[g.name] = nl.add_dff(kNoNet, g.name);
       dff_fixups.emplace_back(nets[g.name], &g);
     }
 
-  std::vector<std::string> stack;
-  std::function<NetId(const std::string&, int)> resolve =
-      [&](const std::string& name, int from_line) -> NetId {
-    if (auto it = nets.find(name); it != nets.end()) return it->second;
+  // Iterative depth-first resolution with an explicit worklist: forward
+  // references recurse logically, never on the native stack, so the depth
+  // limit is the only bound that can fire (not stack exhaustion).
+  struct Frame {
+    const PendingGate* g;
+    std::size_t next_operand = 0;
+  };
+  std::unordered_set<std::string> in_progress;
+  std::vector<Frame> work;
+  // Pushes `name` if it still needs building; false when already resolved.
+  const auto push = [&](const std::string& name, int from_line,
+                        int from_col) -> bool {
+    if (nets.count(name)) return false;
+    if (static_cast<int>(work.size()) >= kMaxResolveDepth)
+      fail(from_line, from_col,
+           "gate nesting deeper than " + std::to_string(kMaxResolveDepth) +
+               " while resolving '" + name + "'");
     auto def = by_name.find(name);
     if (def == by_name.end())
-      fail(from_line, "undefined signal '" + name + "'");
-    const PendingGate& g = *def->second;
-    if (std::find(stack.begin(), stack.end(), name) != stack.end())
-      fail(g.line, "combinational cycle through '" + name + "'");
-    stack.push_back(name);
-    std::vector<NetId> fanin;
-    for (const std::string& op : g.operands)
-      fanin.push_back(resolve(op, g.line));
-    stack.pop_back();
-    GateType t;
-    if (g.type == "AND") t = GateType::kAnd;
-    else if (g.type == "OR") t = GateType::kOr;
-    else if (g.type == "NAND") t = GateType::kNand;
-    else if (g.type == "NOR") t = GateType::kNor;
-    else if (g.type == "XOR") t = GateType::kXor;
-    else if (g.type == "XNOR") t = GateType::kXnor;
-    else if (g.type == "NOT") t = GateType::kNot;
-    else if (g.type == "BUF" || g.type == "BUFF") t = GateType::kBuf;
-    else fail(g.line, "unknown gate type '" + g.type + "'");
-    const NetId id = nl.add_gate(t, std::move(fanin), g.name);
-    nets[name] = id;
-    return id;
+      fail(from_line, from_col, "undefined signal '" + name + "'");
+    const PendingGate* g = def->second;
+    if (!in_progress.insert(name).second)
+      fail(g->line, g->col, "combinational cycle through '" + name + "'");
+    work.push_back({g});
+    return true;
+  };
+  const auto resolve = [&](const std::string& name, int from_line,
+                           int from_col) -> NetId {
+    if (!push(name, from_line, from_col)) return nets.at(name);
+    while (!work.empty()) {
+      Frame& f = work.back();
+      const PendingGate& g = *f.g;
+      if (f.next_operand < g.operands.size()) {
+        const std::string& op = g.operands[f.next_operand++];
+        push(op, g.line, g.col);
+        continue;
+      }
+      GateType t;
+      if (g.type == "AND") t = GateType::kAnd;
+      else if (g.type == "OR") t = GateType::kOr;
+      else if (g.type == "NAND") t = GateType::kNand;
+      else if (g.type == "NOR") t = GateType::kNor;
+      else if (g.type == "XOR") t = GateType::kXor;
+      else if (g.type == "XNOR") t = GateType::kXnor;
+      else if (g.type == "NOT") t = GateType::kNot;
+      else if (g.type == "BUF" || g.type == "BUFF") t = GateType::kBuf;
+      else fail(g.line, g.col, "unknown gate type '" + g.type + "'");
+      std::vector<NetId> fanin;
+      for (const std::string& op : g.operands) fanin.push_back(nets.at(op));
+      nets[g.name] = nl.add_gate(t, std::move(fanin), g.name);
+      in_progress.erase(g.name);
+      work.pop_back();
+    }
+    return nets.at(name);
   };
 
   for (const PendingGate& g : gates)
-    if (g.type != "DFF") (void)resolve(g.name, g.line);
+    if (g.type != "DFF") (void)resolve(g.name, g.line, g.col);
   for (auto& [dff, g] : dff_fixups)
-    nl.set_dff_d(dff, resolve(g->operands[0], g->line));
-  for (const std::string& o : outputs) {
-    auto it = nets.find(o);
+    nl.set_dff_d(dff, resolve(g->operands[0], g->line, g->col));
+  for (const Decl& o : outputs) {
+    auto it = nets.find(o.name);
     if (it == nets.end())
-      throw ParseError("bench: output '" + o + "' is undefined");
-    nl.mark_output(it->second, o);
+      fail(o.line, o.col, "output '" + o.name + "' is undefined");
+    nl.mark_output(it->second, o.name);
   }
   nl.validate();
   return nl;

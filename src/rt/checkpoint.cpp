@@ -1,0 +1,209 @@
+#include "rt/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bibs::rt {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::uint64_t parse_hex(const obs::Json& j, const char* what) {
+  if (!j.is_string())
+    throw ParseError(std::string("checkpoint: ") + what +
+                     " must be a hex string");
+  const std::string& s = j.str();
+  if (s.size() < 3 || s.compare(0, 2, "0x") != 0)
+    throw ParseError(std::string("checkpoint: bad hex word '") + s + "' in " +
+                     what);
+  std::uint64_t v = 0;
+  std::size_t pos = 0;
+  try {
+    v = std::stoull(s.substr(2), &pos, 16);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != s.size() - 2)
+    throw ParseError(std::string("checkpoint: bad hex word '") + s + "' in " +
+                     what);
+  return v;
+}
+
+const obs::Json& require(const obs::Json& j, const char* key) {
+  const obs::Json* v = j.find(key);
+  if (!v)
+    throw ParseError(std::string("checkpoint: missing field '") + key + "'");
+  return *v;
+}
+
+std::int64_t require_int(const obs::Json& j, const char* key) {
+  const obs::Json& v = require(j, key);
+  if (!v.is_number())
+    throw ParseError(std::string("checkpoint: field '") + key +
+                     "' must be a number");
+  return static_cast<std::int64_t>(v.number());
+}
+
+void check_kind(const obs::Json& j, const char* kind) {
+  if (!j.is_object())
+    throw ParseError("checkpoint: document must be a JSON object");
+  const obs::Json& k = require(j, "kind");
+  if (!k.is_string() || k.str() != kind)
+    throw ParseError(std::string("checkpoint: expected kind '") + kind + "'");
+  if (require_int(j, "version") != kVersion)
+    throw ParseError("checkpoint: unsupported version");
+}
+
+void save_text(const std::string& path, const std::string& text,
+               const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw ParseError(std::string(what) + ": cannot open '" + path +
+                     "' for writing");
+  out << text << "\n";
+  if (!out.flush())
+    throw ParseError(std::string(what) + ": write to '" + path + "' failed");
+}
+
+obs::Json load_json(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in)
+    throw ParseError(std::string(what) + ": cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return obs::Json::parse(ss.str());
+}
+
+}  // namespace
+
+void SimCheckpoint::capture_rng(const Xoshiro256& rng) {
+  has_rng = true;
+  rng_state = rng.state();
+}
+
+void SimCheckpoint::restore_rng(Xoshiro256& rng) const {
+  if (!has_rng)
+    throw DesignError("checkpoint carries no PRNG state to restore");
+  rng.set_state(rng_state);
+}
+
+obs::Json SimCheckpoint::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["kind"] = obs::Json("bibs.sim_checkpoint");
+  j["version"] = obs::Json(kVersion);
+  j["patterns_run"] = obs::Json(patterns_run);
+  obs::Json det = obs::Json::array();
+  for (std::int64_t d : detected_at) det.push_back(obs::Json(d));
+  j["detected_at"] = std::move(det);
+  if (has_rng) {
+    obs::Json r = obs::Json::array();
+    for (std::uint64_t w : rng_state) r.push_back(obs::Json(hex(w)));
+    j["rng"] = std::move(r);
+  }
+  return j;
+}
+
+SimCheckpoint SimCheckpoint::from_json(const obs::Json& j) {
+  check_kind(j, "bibs.sim_checkpoint");
+  SimCheckpoint ck;
+  ck.patterns_run = require_int(j, "patterns_run");
+  if (ck.patterns_run < 0)
+    throw ParseError("checkpoint: negative patterns_run");
+  const obs::Json& det = require(j, "detected_at");
+  if (!det.is_array())
+    throw ParseError("checkpoint: field 'detected_at' must be an array");
+  for (const obs::Json& d : det.items()) {
+    if (!d.is_number())
+      throw ParseError("checkpoint: detected_at entries must be numbers");
+    ck.detected_at.push_back(static_cast<std::int64_t>(d.number()));
+  }
+  if (const obs::Json* r = j.find("rng")) {
+    if (!r->is_array() || r->size() != 4)
+      throw ParseError("checkpoint: field 'rng' must be an array of 4 words");
+    for (std::size_t i = 0; i < 4; ++i)
+      ck.rng_state[i] = parse_hex(r->items()[i], "rng");
+    ck.has_rng = true;
+  }
+  return ck;
+}
+
+void SimCheckpoint::save(const std::string& path) const {
+  save_text(path, to_json().dump(), "sim checkpoint");
+}
+
+SimCheckpoint SimCheckpoint::load(const std::string& path) {
+  return from_json(load_json(path, "sim checkpoint"));
+}
+
+obs::Json SessionCheckpoint::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["kind"] = obs::Json("bibs.session_checkpoint");
+  j["version"] = obs::Json(kVersion);
+  j["cycles"] = obs::Json(cycles);
+  j["total_faults"] = obs::Json(static_cast<std::uint64_t>(total_faults));
+  j["batches_done"] = obs::Json(static_cast<std::uint64_t>(batches_done));
+  const auto flags = [](const std::vector<std::uint8_t>& v) {
+    obs::Json a = obs::Json::array();
+    for (std::uint8_t f : v) a.push_back(obs::Json(f != 0));
+    return a;
+  };
+  j["detected_at_outputs"] = flags(detected_at_outputs);
+  j["detected_by_signature"] = flags(detected_by_signature);
+  obs::Json sigs = obs::Json::array();
+  for (std::uint64_t s : golden_signatures) sigs.push_back(obs::Json(hex(s)));
+  j["golden_signatures"] = std::move(sigs);
+  return j;
+}
+
+SessionCheckpoint SessionCheckpoint::from_json(const obs::Json& j) {
+  check_kind(j, "bibs.session_checkpoint");
+  SessionCheckpoint ck;
+  ck.cycles = require_int(j, "cycles");
+  ck.total_faults = static_cast<std::size_t>(require_int(j, "total_faults"));
+  ck.batches_done = static_cast<std::size_t>(require_int(j, "batches_done"));
+  const auto flags = [&](const char* key) {
+    const obs::Json& a = require(j, key);
+    if (!a.is_array())
+      throw ParseError(std::string("checkpoint: field '") + key +
+                       "' must be an array");
+    std::vector<std::uint8_t> v;
+    for (const obs::Json& f : a.items()) {
+      if (f.type() != obs::Json::Type::kBool)
+        throw ParseError(std::string("checkpoint: '") + key +
+                         "' entries must be booleans");
+      v.push_back(f.boolean() ? 1 : 0);
+    }
+    return v;
+  };
+  ck.detected_at_outputs = flags("detected_at_outputs");
+  ck.detected_by_signature = flags("detected_by_signature");
+  const obs::Json& sigs = require(j, "golden_signatures");
+  if (!sigs.is_array())
+    throw ParseError("checkpoint: field 'golden_signatures' must be an array");
+  for (const obs::Json& s : sigs.items())
+    ck.golden_signatures.push_back(parse_hex(s, "golden_signatures"));
+  if (ck.detected_at_outputs.size() != ck.total_faults ||
+      ck.detected_by_signature.size() != ck.total_faults)
+    throw ParseError("checkpoint: detection flag arrays do not match "
+                     "total_faults");
+  return ck;
+}
+
+void SessionCheckpoint::save(const std::string& path) const {
+  save_text(path, to_json().dump(), "session checkpoint");
+}
+
+SessionCheckpoint SessionCheckpoint::load(const std::string& path) {
+  return from_json(load_json(path, "session checkpoint"));
+}
+
+}  // namespace bibs::rt

@@ -1,0 +1,71 @@
+#pragma once
+// Checkpoint/resume state for the two long-running engines. Both snapshots
+// are plain data serialized to JSON (via obs::Json) so an interrupted run —
+// cancelled, past its deadline, or out of budget — can be persisted and
+// later resumed to a result bit-exactly identical to an uninterrupted run.
+//
+// Granularity:
+//   * SimCheckpoint (fault::FaultSimulator): 64-pattern block boundary —
+//     first-detection indices, pattern position and (for run_random /
+//     run_weighted) the PRNG state.
+//   * SessionCheckpoint (sim::BistSession): fault-batch boundary — per-fault
+//     detection flags, golden signatures and the number of completed
+//     63-fault batches. An interrupted batch is re-run from its start on
+//     resume, which is bit-exact because batches are independent.
+//
+// 64-bit words (signatures, PRNG state) are serialized as "0x..." hex
+// strings: obs::Json numbers are doubles and would silently round above
+// 2^53.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "obs/json.hpp"
+
+namespace bibs::rt {
+
+/// Snapshot of a (possibly partial) fault::FaultSimulator run.
+struct SimCheckpoint {
+  /// Patterns simulated when the snapshot was taken.
+  std::int64_t patterns_run = 0;
+  /// First-detection pattern index per fault; -1 if undetected so far.
+  std::vector<std::int64_t> detected_at;
+  /// Captured Xoshiro256 state (run_random / run_weighted resume).
+  bool has_rng = false;
+  std::array<std::uint64_t, 4> rng_state{};
+
+  void capture_rng(const Xoshiro256& rng);
+  /// Restores the captured generator state; throws DesignError if the
+  /// checkpoint carries none.
+  void restore_rng(Xoshiro256& rng) const;
+
+  obs::Json to_json() const;
+  /// Throws ParseError on missing/mistyped fields or wrong kind/version.
+  static SimCheckpoint from_json(const obs::Json& j);
+  void save(const std::string& path) const;
+  static SimCheckpoint load(const std::string& path);
+};
+
+/// Snapshot of a (possibly partial) sim::BistSession run.
+struct SessionCheckpoint {
+  /// The run's cycle count per batch; resume validates it matches.
+  std::int64_t cycles = 0;
+  /// Fault-list size; resume validates it matches.
+  std::size_t total_faults = 0;
+  /// Fully completed 63-fault batches.
+  std::size_t batches_done = 0;
+  std::vector<std::uint8_t> detected_at_outputs;
+  std::vector<std::uint8_t> detected_by_signature;
+  std::vector<std::uint64_t> golden_signatures;
+
+  obs::Json to_json() const;
+  /// Throws ParseError on missing/mistyped fields or wrong kind/version.
+  static SessionCheckpoint from_json(const obs::Json& j);
+  void save(const std::string& path) const;
+  static SessionCheckpoint load(const std::string& path);
+};
+
+}  // namespace bibs::rt

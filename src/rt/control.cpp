@@ -1,0 +1,22 @@
+#include "rt/control.hpp"
+
+namespace bibs::rt {
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kFinished: return "finished";
+    case RunStatus::kCancelled: return "cancelled";
+    case RunStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case RunStatus::kBudgetExhausted: return "budget_exhausted";
+  }
+  return "unknown";
+}
+
+std::chrono::nanoseconds Deadline::remaining() const {
+  if (unbounded()) return std::chrono::nanoseconds::max();
+  const auto now = Clock::now();
+  if (now >= at_) return std::chrono::nanoseconds::zero();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(at_ - now);
+}
+
+}  // namespace bibs::rt

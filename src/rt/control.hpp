@@ -1,0 +1,113 @@
+#pragma once
+// Run control for the long-running engine phases (PPSFP fault simulation,
+// BIST session emulation, TPG synthesis, design-space exploration). A
+// RunControl bundles three independent stop conditions — a cooperative
+// CancelToken, a wall-clock Deadline and a work-unit budget — and is polled
+// at block granularity (64-pattern blocks / 64-cycle slices), never from the
+// innermost loops. Interrupted runs return a well-formed partial result
+// carrying a RunStatus instead of throwing or dying.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace bibs::rt {
+
+/// How a run ended. kFinished doubles as "no interruption requested" while
+/// the run is still in flight (see RunControl::interruption).
+enum class RunStatus {
+  kFinished,          ///< Ran to natural completion.
+  kCancelled,         ///< CancelToken::request_cancel observed.
+  kDeadlineExceeded,  ///< Wall-clock deadline passed.
+  kBudgetExhausted,   ///< Work-unit budget (patterns / cycles) spent.
+};
+
+const char* to_string(RunStatus s);
+
+/// Thread-safe cooperative cancellation flag. Copies share state: any copy
+/// may request cancellation, every copy observes it. Tokens compose via
+/// child(): a child is cancelled when either it or any ancestor is, so a
+/// service can hand per-request tokens linked to one shutdown token.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void request_cancel() noexcept {
+    state_->flag.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once this token or any ancestor was cancelled.
+  bool cancelled() const noexcept {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get())
+      if (s->flag.load(std::memory_order_relaxed)) return true;
+    return false;
+  }
+
+  /// A token that is cancelled when either it or this token is.
+  CancelToken child() const {
+    CancelToken t;
+    t.state_->parent = state_;
+    return t;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::shared_ptr<const State> parent;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Wall-clock deadline on the steady clock. Default-constructed: never
+/// expires. Cheap to copy; expired() costs one clock read.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() : at_(Clock::time_point::max()) {}
+
+  static Deadline never() { return Deadline(); }
+  static Deadline at(Clock::time_point t) {
+    Deadline d;
+    d.at_ = t;
+    return d;
+  }
+  static Deadline in(std::chrono::nanoseconds delta) {
+    return at(Clock::now() + delta);
+  }
+
+  bool unbounded() const { return at_ == Clock::time_point::max(); }
+  bool expired() const { return !unbounded() && Clock::now() >= at_; }
+
+  /// Time left; zero once expired, nanoseconds::max() when unbounded.
+  std::chrono::nanoseconds remaining() const;
+
+ private:
+  Clock::time_point at_;
+};
+
+/// Aggregated stop conditions threaded through the engines. Default
+/// constructed it never interrupts, so `const RunControl& ctl = {}`
+/// parameters leave existing call sites untouched.
+struct RunControl {
+  CancelToken token{};
+  Deadline deadline{};
+  /// Total work units (patterns for fault sim, cycles for sessions,
+  /// evaluations for exploration) the run may spend.
+  std::int64_t budget = std::numeric_limits<std::int64_t>::max();
+
+  /// Polled at block granularity with the work spent so far. Returns
+  /// kFinished while the run may continue; the first matching stop
+  /// condition otherwise (cancel > deadline > budget).
+  RunStatus interruption(std::int64_t work_done) const {
+    if (token.cancelled()) return RunStatus::kCancelled;
+    if (deadline.expired()) return RunStatus::kDeadlineExceeded;
+    if (work_done >= budget) return RunStatus::kBudgetExhausted;
+    return RunStatus::kFinished;
+  }
+};
+
+}  // namespace bibs::rt

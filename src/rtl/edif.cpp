@@ -9,15 +9,18 @@ namespace bibs::rtl {
 Netlist parse_edif(const std::string& text) {
   const Sexpr root = parse_sexpr(text);
   if (root.head() != "circuit")
-    throw ParseError("edif: top-level form must be (circuit ...)");
+    throw ParseError("edif " + root.pos_prefix() +
+                     "top-level form must be (circuit ...)");
   if (root.size() < 2)
-    throw ParseError("edif: (circuit ...) needs a name");
+    throw ParseError("edif " + root.pos_prefix() + "(circuit ...) needs a name");
   Netlist n(root.atom_at(1));
 
-  auto require_block = [&](const std::string& name) {
+  auto require_block = [&](const Sexpr& f, std::size_t arg) {
+    const std::string& name = f.atom_at(arg);
     const BlockId id = n.find_block(name);
     if (id == kNoBlock)
-      throw ParseError("edif: unknown block '" + name + "'");
+      throw ParseError("edif " + f.at(arg).pos_prefix() + "unknown block '" +
+                       name + "'");
     return id;
   };
 
@@ -35,13 +38,12 @@ Netlist parse_edif(const std::string& text) {
     } else if (kw == "vacuous") {
       n.add_vacuous(f.atom_at(1), f.int_at(2));
     } else if (kw == "reg") {
-      n.connect_reg(require_block(f.atom_at(1)), require_block(f.atom_at(2)),
-                    f.atom_at(3), f.int_at(4));
+      n.connect_reg(require_block(f, 1), require_block(f, 2), f.atom_at(3),
+                    f.int_at(4));
     } else if (kw == "wire") {
-      n.connect_wire(require_block(f.atom_at(1)), require_block(f.atom_at(2)),
-                     f.int_at(3));
+      n.connect_wire(require_block(f, 1), require_block(f, 2), f.int_at(3));
     } else {
-      throw ParseError("edif: unknown form '" + kw + "'");
+      throw ParseError("edif " + f.pos_prefix() + "unknown form '" + kw + "'");
     }
   }
   n.validate();

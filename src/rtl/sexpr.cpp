@@ -5,6 +5,11 @@
 
 namespace bibs::rtl {
 
+std::string Sexpr::pos_prefix() const {
+  if (line <= 0) return "";
+  return std::to_string(line) + ":" + std::to_string(col) + ": ";
+}
+
 const std::string& Sexpr::head() const {
   static const std::string kEmpty;
   if (is_atom || children.empty() || !children[0].is_atom) return kEmpty;
@@ -13,28 +18,33 @@ const std::string& Sexpr::head() const {
 
 const Sexpr& Sexpr::at(std::size_t i) const {
   if (is_atom || i >= children.size())
-    throw ParseError("sexpr: index " + std::to_string(i) + " out of range in " +
-                     to_string());
+    throw ParseError("sexpr " + pos_prefix() + "index " + std::to_string(i) +
+                     " out of range in " + to_string());
   return children[i];
 }
 
 const std::string& Sexpr::atom_at(std::size_t i) const {
   const Sexpr& c = at(i);
   if (!c.is_atom)
-    throw ParseError("sexpr: expected an atom at position " +
+    throw ParseError("sexpr " + pos_prefix() + "expected an atom at position " +
                      std::to_string(i) + " in " + to_string());
   return c.atom;
 }
 
 int Sexpr::int_at(std::size_t i) const {
-  const std::string& a = atom_at(i);
+  const Sexpr& c = at(i);
+  if (!c.is_atom)
+    throw ParseError("sexpr " + pos_prefix() + "expected an atom at position " +
+                     std::to_string(i) + " in " + to_string());
+  const std::string& a = c.atom;
   try {
     std::size_t pos = 0;
     const int v = std::stoi(a, &pos);
     if (pos != a.size()) throw std::invalid_argument(a);
     return v;
   } catch (const std::exception&) {
-    throw ParseError("sexpr: expected an integer, got '" + a + "'");
+    throw ParseError("sexpr " + c.pos_prefix() + "expected an integer, got '" +
+                     a + "'");
   }
 }
 
@@ -52,8 +62,13 @@ namespace {
 
 struct Lexer {
   const std::string& text;
+  const ParseLimits& limits;
   std::size_t pos = 0;
   int line = 1;
+  std::size_t line_start = 0;  // offset of the current line's first byte
+  std::size_t tokens = 0;
+
+  int col() const { return static_cast<int>(pos - line_start) + 1; }
 
   void skip_ws() {
     while (pos < text.size()) {
@@ -61,7 +76,10 @@ struct Lexer {
       if (c == ';') {
         while (pos < text.size() && text[pos] != '\n') ++pos;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
-        if (c == '\n') ++line;
+        if (c == '\n') {
+          ++line;
+          line_start = pos + 1;
+        }
         ++pos;
       } else {
         break;
@@ -70,40 +88,61 @@ struct Lexer {
   }
 
   [[noreturn]] void fail(const std::string& why) const {
-    throw ParseError("sexpr line " + std::to_string(line) + ": " + why);
+    throw ParseError("sexpr " + std::to_string(line) + ":" +
+                     std::to_string(col()) + ": " + why);
   }
 
-  Sexpr parse() {
+  void count_token() {
+    if (++tokens > limits.max_tokens)
+      fail("token limit of " + std::to_string(limits.max_tokens) +
+           " exceeded");
+  }
+
+  Sexpr parse(std::size_t depth) {
     skip_ws();
     if (pos >= text.size()) fail("unexpected end of input");
+    const int at_line = line;
+    const int at_col = col();
     if (text[pos] == '(') {
+      if (depth >= limits.max_depth)
+        fail("nesting depth limit of " + std::to_string(limits.max_depth) +
+             " exceeded");
+      count_token();
       ++pos;
       Sexpr list = Sexpr::make_list();
+      list.line = at_line;
+      list.col = at_col;
       for (;;) {
         skip_ws();
-        if (pos >= text.size()) fail("unterminated list");
+        if (pos >= text.size())
+          fail("unterminated list opened at " + std::to_string(at_line) + ":" +
+               std::to_string(at_col));
         if (text[pos] == ')') {
           ++pos;
           return list;
         }
-        list.children.push_back(parse());
+        list.children.push_back(parse(depth + 1));
       }
     }
     if (text[pos] == ')') fail("unexpected ')'");
+    count_token();
     std::string atom;
     while (pos < text.size() && text[pos] != '(' && text[pos] != ')' &&
            text[pos] != ';' &&
            !std::isspace(static_cast<unsigned char>(text[pos])))
       atom.push_back(text[pos++]);
-    return Sexpr::make_atom(std::move(atom));
+    Sexpr s = Sexpr::make_atom(std::move(atom));
+    s.line = at_line;
+    s.col = at_col;
+    return s;
   }
 };
 
 }  // namespace
 
-Sexpr parse_sexpr(const std::string& text) {
-  Lexer lex{text};
-  Sexpr s = lex.parse();
+Sexpr parse_sexpr(const std::string& text, const ParseLimits& limits) {
+  Lexer lex{text, limits};
+  Sexpr s = lex.parse(0);
   lex.skip_ws();
   if (lex.pos < text.size()) lex.fail("trailing content after expression");
   return s;

@@ -2,6 +2,11 @@
 // Minimal S-expression reader/printer: the substrate for the EDIF-style
 // circuit format (the BITS system the paper integrates with exchanged
 // circuits as EDIF, which is S-expression based).
+//
+// The reader is hardened against hostile input: nesting depth and token
+// count are bounded (ParseLimits), and every ParseError carries a 1-based
+// line:column position. Parsed nodes remember where they started so later
+// semantic passes (e.g. the EDIF reader) can point at the offending form.
 
 #include <memory>
 #include <string>
@@ -11,11 +16,26 @@
 
 namespace bibs::rtl {
 
+/// Bounds enforced while reading untrusted S-expression text. Exceeding
+/// either limit raises ParseError; a limit of 0 means "reject everything"
+/// (there is deliberately no unlimited setting).
+struct ParseLimits {
+  /// Maximum list nesting depth. 256 is far beyond any real EDIF file but
+  /// small enough that the recursive reader cannot overflow the stack.
+  std::size_t max_depth = 256;
+  /// Maximum number of tokens (atoms plus list openers).
+  std::size_t max_tokens = 1'000'000;
+};
+
 struct Sexpr {
   /// An atom iff children is unused; a list otherwise.
   bool is_atom = false;
   std::string atom;
   std::vector<Sexpr> children;
+  /// 1-based source position of the token that started this node;
+  /// 0 for nodes built programmatically.
+  int line = 0;
+  int col = 0;
 
   static Sexpr make_atom(std::string a) {
     Sexpr s;
@@ -28,6 +48,10 @@ struct Sexpr {
     s.children = std::move(kids);
     return s;
   }
+
+  /// "L:C: " when the node has a source position, "" otherwise. Prepend to
+  /// messages about this node so parse diagnostics stay locatable.
+  std::string pos_prefix() const;
 
   /// List head atom ("" for empty lists / atoms-as-heads).
   const std::string& head() const;
@@ -42,7 +66,8 @@ struct Sexpr {
 };
 
 /// Parses one S-expression (';' starts a line comment). Trailing content
-/// after the first complete expression is an error.
-Sexpr parse_sexpr(const std::string& text);
+/// after the first complete expression is an error, as is input exceeding
+/// `limits`. All errors are ParseError with a 1-based line:column position.
+Sexpr parse_sexpr(const std::string& text, const ParseLimits& limits = {});
 
 }  // namespace bibs::rtl

@@ -15,7 +15,8 @@ CstpSession::CstpSession(const gate::Netlist& nl) : nl_(&nl) {
 }
 
 CstpReport CstpSession::run(const fault::FaultList& faults,
-                            std::int64_t cycles) const {
+                            std::int64_t cycles,
+                            const rt::RunControl& ctl) const {
   CstpReport rep;
   rep.cycles = cycles;
   rep.total_faults = faults.size();
@@ -23,6 +24,8 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
   std::vector<char> det_ideal(faults.size(), 0);
   std::vector<char> det_sig(faults.size(), 0);
 
+  std::int64_t work_done = 0;
+  bool interrupted = false;
   std::size_t base = 0;
   do {
     const std::size_t batch = std::min<std::size_t>(
@@ -35,6 +38,15 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
 
     std::uint64_t diverged = 0;
     for (std::int64_t t = 0; t < cycles; ++t) {
+      if ((t & 63) == 0) {
+        if (const rt::RunStatus st = ctl.interruption(work_done);
+            st != rt::RunStatus::kFinished) {
+          rep.status = st;
+          interrupted = true;
+          break;
+        }
+      }
+      ++work_done;
       eng.eval();
       // Splice: next(FF_i) = D_i XOR Q(FF_{i-1}), circularly. Capture the
       // present ring states first (all updates are simultaneous).
@@ -53,6 +65,7 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
         diverged |= v ^ ((v & 1u) ? ~0ull : 0ull);
       }
     }
+    if (interrupted) break;  // drop the in-flight batch whole
     for (std::size_t k = 0; k < batch; ++k) {
       if ((diverged >> (k + 1)) & 1u) det_ideal[base + k] = 1;
       for (NetId ff : ring_) {
@@ -76,7 +89,7 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
 
 std::int64_t CstpSession::cycles_to_cover(
     const std::vector<gate::NetId>& watch, std::uint64_t target,
-    std::int64_t max_cycles) const {
+    std::int64_t max_cycles, const rt::RunControl& ctl) const {
   BIBS_ASSERT(!watch.empty() && watch.size() <= 24);
   LaneEngine eng(*nl_, {});
   eng.set_dff_state(ring_.front(), ~0ull);
@@ -84,6 +97,9 @@ std::int64_t CstpSession::cycles_to_cover(
   BitVec seen(std::size_t{1} << watch.size());
   std::uint64_t covered = 0;
   for (std::int64_t t = 0; t < max_cycles; ++t) {
+    if ((t & 63) == 0 &&
+        ctl.interruption(t) != rt::RunStatus::kFinished)
+      return -1;
     std::uint64_t pattern = 0;
     for (std::size_t i = 0; i < watch.size(); ++i)
       if (eng.state(watch[i]) & 1u) pattern |= 1ull << i;

@@ -12,6 +12,7 @@
 
 #include "fault/fault.hpp"
 #include "gate/netlist.hpp"
+#include "rt/control.hpp"
 
 namespace bibs::sim {
 
@@ -22,6 +23,9 @@ struct CstpReport {
   std::size_t detected_ideal = 0;
   /// Faults whose final ring contents (the signature) differ.
   std::size_t detected_by_signature = 0;
+  /// How the run ended; anything but kFinished marks a partial report
+  /// (only fully completed 63-fault batches are counted).
+  rt::RunStatus status = rt::RunStatus::kFinished;
 };
 
 class CstpSession {
@@ -31,17 +35,22 @@ class CstpSession {
   /// never self-start).
   explicit CstpSession(const gate::Netlist& nl);
 
-  CstpReport run(const fault::FaultList& faults, std::int64_t cycles) const;
+  /// `ctl` is polled every 64 emulated cycles (work units are cycles summed
+  /// across the 63-fault batches); an interrupted run drops the in-flight
+  /// batch and returns a partial report whose `status` says why.
+  CstpReport run(const fault::FaultList& faults, std::int64_t cycles,
+                 const rt::RunControl& ctl = {}) const;
 
   /// Fault-free run measuring *pattern* coverage: the number of cycles until
   /// the watched flip-flops (<= 24 of them) have taken `target` distinct
-  /// joint values, or -1 if max_cycles pass first. This is the quantity the
-  /// paper's "T * 2^M" estimate is about: how long the unstructured ring
-  /// takes to exhaust a kernel's input space, versus exactly 2^M - 1 for
-  /// the maximal-length BIBS TPG.
+  /// joint values, or -1 if max_cycles pass first (or the run was
+  /// interrupted via `ctl`, polled every 64 cycles). This is the quantity
+  /// the paper's "T * 2^M" estimate is about: how long the unstructured
+  /// ring takes to exhaust a kernel's input space, versus exactly 2^M - 1
+  /// for the maximal-length BIBS TPG.
   std::int64_t cycles_to_cover(const std::vector<gate::NetId>& watch,
-                               std::uint64_t target,
-                               std::int64_t max_cycles) const;
+                               std::uint64_t target, std::int64_t max_cycles,
+                               const rt::RunControl& ctl = {}) const;
 
  private:
   const gate::Netlist* nl_;

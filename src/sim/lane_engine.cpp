@@ -19,6 +19,13 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
   BIBS_ASSERT(batch.size() <= 63);
   for (std::size_t k = 0; k < batch.size(); ++k) {
     const fault::Fault& f = batch[k];
+    if (f.net < 0 || static_cast<std::size_t>(f.net) >= nl.net_count())
+      throw DesignError("fault net " + std::to_string(f.net) +
+                        " is out of range for this netlist");
+    if (f.pin >= 0 &&
+        static_cast<std::size_t>(f.pin) >= nl.gate(f.net).fanin.size())
+      throw DesignError("fault pin " + std::to_string(f.pin) +
+                        " is out of range on net " + std::to_string(f.net));
     const std::uint64_t mask = 1ull << (k + 1);
     if (f.pin < 0)
       (f.stuck ? stem1_ : stem0_)[static_cast<std::size_t>(f.net)] |= mask;

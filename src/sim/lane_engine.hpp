@@ -15,6 +15,10 @@ namespace bibs::sim {
 
 class LaneEngine {
  public:
+  /// Throws DesignError if a fault in `batch` does not fit the netlist
+  /// (net out of range, pin index beyond the gate's fan-in): fault lists
+  /// can come from checkpoints or external tools and are validated before
+  /// they reach the unchecked hot loops.
   LaneEngine(const gate::Netlist& nl, std::span<const fault::Fault> batch);
 
   void set_dff_state(gate::NetId dff, std::uint64_t word);

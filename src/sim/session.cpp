@@ -77,7 +77,10 @@ void BistSession::set_progress(obs::ProgressFn fn, std::int64_t every_cycles) {
 }
 
 SessionReport BistSession::run(const fault::FaultList& faults,
-                               std::int64_t cycles) const {
+                               std::int64_t cycles,
+                               const rt::RunControl& ctl,
+                               const rt::SessionCheckpoint* resume,
+                               rt::SessionCheckpoint* checkpoint) const {
   BIBS_SPAN("session.run");
   BIBS_COUNTER(c_cycles, "session.cycles");
   BIBS_COUNTER(c_batches, "session.batches");
@@ -92,23 +95,50 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   rep.total_faults = faults.size();
   rep.golden_signatures.assign(output_d_.size(), 0);
 
-  // Progress is reported across all fault batches: each batch of up to 63
-  // faults re-runs the full `cycles` clocks.
+  // Each batch of up to 63 faults re-runs the full `cycles` clocks; the
+  // 0-fault session still runs one batch for the golden signatures.
+  const std::size_t n_batches =
+      std::max<std::size_t>(1, (faults.size() + 62) / 63);
+
+  std::vector<char> det_out(faults.size(), 0);
+  std::vector<char> det_sig(faults.size(), 0);
+  std::size_t completed = 0;
+  if (resume) {
+    if (resume->total_faults != faults.size() || resume->cycles != cycles)
+      throw DesignError(
+          "session checkpoint does not match this run (faults " +
+          std::to_string(resume->total_faults) + " vs " +
+          std::to_string(faults.size()) + ", cycles " +
+          std::to_string(resume->cycles) + " vs " + std::to_string(cycles) +
+          ")");
+    if (resume->batches_done > n_batches ||
+        resume->detected_at_outputs.size() != faults.size() ||
+        resume->detected_by_signature.size() != faults.size() ||
+        (resume->batches_done > 0 &&
+         resume->golden_signatures.size() != output_d_.size()))
+      throw DesignError("session checkpoint is internally inconsistent");
+    completed = resume->batches_done;
+    std::copy(resume->detected_at_outputs.begin(),
+              resume->detected_at_outputs.end(), det_out.begin());
+    std::copy(resume->detected_by_signature.begin(),
+              resume->detected_by_signature.end(), det_sig.begin());
+    if (completed > 0) rep.golden_signatures = resume->golden_signatures;
+  }
+
+  // Progress / budget work units are cycles, cumulative across the whole
+  // session including batches a resumed run skips.
   const std::int64_t total_work =
-      cycles * std::max<std::int64_t>(
-                   1, static_cast<std::int64_t>((faults.size() + 62) / 63));
-  std::int64_t work_done = 0;
-  std::int64_t next_progress = progress_every_;
+      cycles * static_cast<std::int64_t>(n_batches);
+  std::int64_t work_done = cycles * static_cast<std::int64_t>(completed);
+  std::int64_t next_progress = work_done + progress_every_;
 
   int max_shift = 0;
   for (const auto& labels : tpg_.cell_label)
     for (int l : labels) max_shift = std::max(max_shift, l - tpg_.min_label);
 
-  std::vector<char> det_out(faults.size(), 0);
-  std::vector<char> det_sig(faults.size(), 0);
-
-  std::size_t base = 0;
-  do {
+  bool interrupted = false;
+  for (std::size_t bi = completed; bi < n_batches && !interrupted; ++bi) {
+    const std::size_t base = bi * 63;
     const std::size_t batch = std::min<std::size_t>(
         63, faults.size() > base ? faults.size() - base : 0);
     LaneEngine eng(elab_->netlist,
@@ -130,6 +160,16 @@ SessionReport BistSession::run(const fault::FaultList& faults,
 
     std::uint64_t out_diff_seen = 0;
     for (std::int64_t t = 0; t < cycles; ++t) {
+      // Poll run control at 64-cycle granularity; an interrupted batch is
+      // discarded whole (resume re-runs it from its start, bit-exactly).
+      if ((t & 63) == 0) {
+        if (const rt::RunStatus st = ctl.interruption(work_done);
+            st != rt::RunStatus::kFinished) {
+          rep.status = st;
+          interrupted = true;
+          break;
+        }
+      }
       for (std::size_t ri = 0; ri < input_q_.size(); ++ri) {
         const auto& labels = tpg_.cell_label[ri];
         for (std::size_t j = 0; j < input_q_[ri].size(); ++j) {
@@ -178,6 +218,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
         next_progress = work_done + progress_every_;
       }
     }
+    if (interrupted) break;
     BIBS_COUNTER_ADD(c_cycles, cycles);
     BIBS_COUNTER_ADD(c_batches, 1);
 
@@ -189,17 +230,26 @@ SessionReport BistSession::run(const fault::FaultList& faults,
           break;
         }
     }
-    if (base == 0)
+    if (bi == 0)
       for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
         rep.golden_signatures[oi] = misr[oi][0].signature();
-    base += 63;
-  } while (base < faults.size());
+    ++completed;
+  }
 
   rep.detected_at_outputs =
       static_cast<std::size_t>(std::count(det_out.begin(), det_out.end(), 1));
   rep.detected_by_signature =
       static_cast<std::size_t>(std::count(det_sig.begin(), det_sig.end(), 1));
   rep.aliased = rep.detected_at_outputs - rep.detected_by_signature;
+
+  if (checkpoint) {
+    checkpoint->cycles = cycles;
+    checkpoint->total_faults = faults.size();
+    checkpoint->batches_done = completed;
+    checkpoint->detected_at_outputs.assign(det_out.begin(), det_out.end());
+    checkpoint->detected_by_signature.assign(det_sig.begin(), det_sig.end());
+    checkpoint->golden_signatures = rep.golden_signatures;
+  }
 
   BIBS_GAUGE_SET(g_coverage,
                  rep.total_faults == 0

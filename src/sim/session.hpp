@@ -16,6 +16,8 @@
 #include "fault/fault.hpp"
 #include "gate/synth.hpp"
 #include "obs/progress.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/control.hpp"
 #include "tpg/design.hpp"
 
 namespace bibs::sim {
@@ -32,6 +34,9 @@ struct SessionReport {
   std::size_t aliased = 0;
   /// Fault-free signature per output register (kernel output order).
   std::vector<std::uint64_t> golden_signatures;
+  /// How the run ended; anything but kFinished marks a partial report
+  /// (only fully completed 63-fault batches are counted).
+  rt::RunStatus status = rt::RunStatus::kFinished;
 };
 
 class BistSession {
@@ -47,9 +52,19 @@ class BistSession {
   fault::FaultList kernel_faults() const;
 
   /// Runs the session for `cycles` clocks (default: the TPG's full pattern
-  /// count plus the kernel depth) against the given faults.
-  SessionReport run(const fault::FaultList& faults,
-                    std::int64_t cycles = -1) const;
+  /// count plus the kernel depth) against the given faults. `ctl` is polled
+  /// every 64 emulated cycles (work units are cycles summed across the
+  /// 63-fault batches): an interrupted run stops within one 64-cycle slice
+  /// and returns a partial report whose `status` says why. `resume` (when
+  /// non-null) skips the batches a previous run completed; `checkpoint`
+  /// (when non-null) is filled with the state of every batch this run
+  /// completed, whatever the final status. A checkpointed-then-resumed run
+  /// reproduces the uninterrupted run's signatures and detection flags
+  /// bit-exactly, because fault batches are independent.
+  SessionReport run(const fault::FaultList& faults, std::int64_t cycles = -1,
+                    const rt::RunControl& ctl = {},
+                    const rt::SessionCheckpoint* resume = nullptr,
+                    rt::SessionCheckpoint* checkpoint = nullptr) const;
 
   /// Installs a progress callback invoked from run() roughly every
   /// `every_cycles` emulated clock cycles (across all 63-fault batches) and

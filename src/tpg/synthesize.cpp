@@ -18,7 +18,8 @@ std::size_t SynthesizedTpg::feedback_xors() const {
 }
 
 SynthesizedTpg synthesize_tpg(const TpgDesign& d,
-                              const obs::ProgressFn& progress) {
+                              const obs::ProgressFn& progress,
+                              const rt::RunControl& ctl) {
   BIBS_SPAN("tpg.synthesize");
   BIBS_COUNTER(c_tpgs, "tpg.synthesized");
   BIBS_COUNTER(c_ffs, "tpg.synthesized_ffs");
@@ -44,7 +45,15 @@ SynthesizedTpg synthesize_tpg(const TpgDesign& d,
   std::vector<int> driver_slot(static_cast<std::size_t>(nlabels), -1);
   for (std::size_t si = 0; si < d.slots.size(); ++si) {
     const TpgSlot& s = d.slots[si];
-    if (progress && si % 64 == 0) emit_progress(static_cast<std::int64_t>(si));
+    if (si % 64 == 0) {
+      if (const rt::RunStatus st =
+              ctl.interruption(static_cast<std::int64_t>(si));
+          st != rt::RunStatus::kFinished) {
+        out.status = st;
+        return out;
+      }
+      if (progress) emit_progress(static_cast<std::int64_t>(si));
+    }
     std::string name =
         s.reg >= 0 ? d.structure.registers[static_cast<std::size_t>(s.reg)]
                              .name +

@@ -17,6 +17,7 @@
 
 #include "gate/netlist.hpp"
 #include "obs/progress.hpp"
+#include "rt/control.hpp"
 #include "tpg/design.hpp"
 
 namespace bibs::tpg {
@@ -28,6 +29,10 @@ struct SynthesizedTpg {
   /// DFF net of the driving stage for each label (label -> net).
   std::vector<gate::NetId> stage_q;
   int min_label = 1;
+  /// kFinished unless the synthesis was interrupted via RunControl; an
+  /// interrupted result is partial (netlist incomplete, not validated) and
+  /// must not be used beyond inspecting this status.
+  rt::RunStatus status = rt::RunStatus::kFinished;
 
   /// Number of 2-input XOR gates in the feedback network.
   std::size_t feedback_xors() const;
@@ -36,8 +41,11 @@ struct SynthesizedTpg {
 /// Synthesizes the TPG. The netlist is autonomous (no PIs); seed it by
 /// setting DFF states and clock it with gate::Simulator. `progress` (when
 /// non-empty) is invoked per chunk of synthesized slots — TPGs are usually
-/// small, but design-space sweeps synthesize thousands of them.
+/// small, but design-space sweeps synthesize thousands of them. `ctl` is
+/// polled per 64-slot chunk (work units are slots); on interruption the
+/// partial result only carries `status`.
 SynthesizedTpg synthesize_tpg(const TpgDesign& d,
-                              const obs::ProgressFn& progress = {});
+                              const obs::ProgressFn& progress = {},
+                              const rt::RunControl& ctl = {});
 
 }  // namespace bibs::tpg
