@@ -2,7 +2,9 @@
 // sample at two points): fault coverage of the BIBS whole-data-path kernel
 // and of the [3] per-block kernels as the random pattern count grows.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "circuits/datapaths.hpp"
 #include "common/prng.hpp"
@@ -15,6 +17,10 @@ namespace {
 
 using namespace bibs;
 
+// --threads N (or BIBS_THREADS) parallelizes the per-fault propagation loop;
+// the curves are bit-identical for any thread count.
+int g_threads = 0;
+
 fault::CoverageCurve bibs_curve(const rtl::Netlist& n) {
   const auto elab = gate::elaborate(n);
   std::vector<rtl::ConnId> in_regs, out_regs;
@@ -25,6 +31,7 @@ fault::CoverageCurve bibs_curve(const rtl::Netlist& n) {
   }
   const auto comb = gate::combinational_kernel(elab, n, in_regs, out_regs);
   fault::FaultSimulator sim(comb, fault::FaultList::collapsed(comb));
+  sim.set_threads(g_threads);
   Xoshiro256 rng(1994);
   return sim.run_random(rng, 1 << 20, 60000);
 }
@@ -39,6 +46,7 @@ std::vector<fault::CoverageCurve> ka_curves(const rtl::Netlist& n) {
     const auto comb =
         gate::combinational_kernel(elab, n, k.input_regs, k.output_regs);
     fault::FaultSimulator sim(comb, fault::FaultList::collapsed(comb));
+    sim.set_threads(g_threads);
     Xoshiro256 rng(seed++);
     out.push_back(sim.run_random(rng, 1 << 20, 60000));
   }
@@ -60,7 +68,11 @@ double aggregate_after(const std::vector<fault::CoverageCurve>& curves,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc)
+      g_threads = std::atoi(argv[++i]);
+
   for (const char* which : {"c5a2m", "c4a4m"}) {
     rtl::Netlist n;
     if (std::string(which) == "c5a2m") n = circuits::make_c5a2m();

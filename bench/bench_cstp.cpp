@@ -4,7 +4,9 @@
 // same elaborated kernel with the same fault list and report the coverage
 // each reaches as cycles grow.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "circuits/figures.hpp"
 #include "common/table.hpp"
@@ -13,8 +15,15 @@
 #include "sim/cstp.hpp"
 #include "sim/session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bibs;
+
+  // --threads N (or BIBS_THREADS) parallelizes the 63-fault batches of both
+  // schemes; the tables are bit-identical for any thread count.
+  int threads = 0;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
 
   const rtl::Netlist n = circuits::make_fig12a(4);  // M = 12 kernel
   const gate::Elaboration elab = gate::elaborate(n);
@@ -24,6 +33,7 @@ int main() {
     if (!k.trivial) kernel = &k;
 
   sim::BistSession bibs(n, elab, design.bilbo, *kernel);
+  bibs.set_threads(threads);
   const fault::FaultList faults = bibs.kernel_faults();
   const int m = bibs.tpg().lfsr_stages;
   const std::int64_t bibs_time =
@@ -31,6 +41,7 @@ int main() {
   const auto bibs_rep = bibs.run(faults, bibs_time);
 
   sim::CstpSession cstp(elab.netlist);
+  cstp.set_threads(threads);
 
   Table t("BIBS TPG vs circular self-test path on the same kernel (M = " +
           std::to_string(m) + ", " + std::to_string(faults.size()) +

@@ -32,11 +32,17 @@ int run(int argc, char** argv) {
 
   // --deadline-ms N bounds every simulated session by wall-clock time; a
   // session that runs out prints its (partial) coverage and the reason.
+  // --threads N runs the 63-fault session batches on N workers (results are
+  // bit-identical for any count; 0/default resolves BIBS_THREADS).
   rt::RunControl ctl;
-  for (int i = 1; i < argc; ++i)
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--deadline-ms" && i + 1 < argc)
       ctl.deadline =
           rt::Deadline::in(std::chrono::milliseconds(std::atoll(argv[++i])));
+    else if (std::string(argv[i]) == "--threads" && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+  }
 
   const rtl::Netlist n = circuits::make_c5a2m();
   std::cout << "c5a2m: o = (a+b)*(c+d) + (e+f)*(g+h), 8-bit operands\n";
@@ -61,6 +67,7 @@ int run(int argc, char** argv) {
       obs::Span span("tpg_synthesis");
       return sim::BistSession(n, elab, design.bilbo, k);
     }();
+    session.set_threads(threads);
     session.set_progress(obs::progress_from_env());
     std::cout << "TPG: " << session.tpg().lfsr_stages << "-stage LFSR, "
               << session.tpg().physical_ffs() << " flip-flops, p(x) = "

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Documentation consistency check, run as a ctest (label bibs-report):
+#
+#   1. every docs/*.md must be linked from README.md;
+#   2. every relative markdown link in README.md and docs/*.md must point at
+#      an existing file or directory;
+#   3. every inline-code repo path (`src/...`, `docs/...`, `scripts/...`,
+#      `tests/...`, `bench/...`, `examples/...`, `fuzz/...`) mentioned in
+#      docs/ must exist, so the prose can't drift from the tree.
+#
+# usage: check_docs.sh <source-dir>
+set -u
+
+src=${1:-.}
+status=0
+
+if [ ! -f "$src/README.md" ] || [ ! -d "$src/docs" ]; then
+    echo "FAIL: $src does not look like the repo root" >&2
+    exit 1
+fi
+
+# --- 1. README.md links every docs page ------------------------------------
+for f in "$src"/docs/*.md; do
+    base=$(basename "$f")
+    if ! grep -q "docs/$base" "$src/README.md"; then
+        echo "FAIL: docs/$base is not linked from README.md"
+        status=1
+    fi
+done
+
+# --- 2. relative markdown links resolve ------------------------------------
+# Extract the (target) part of [text](target) links, one per line.
+link_targets() {
+    grep -o '](\([^)]*\))' "$1" 2>/dev/null | sed 's/^](//; s/)$//'
+}
+
+for f in "$src/README.md" "$src"/docs/*.md; do
+    dir=$(dirname "$f")
+    rel=${f#"$src"/}
+    for t in $(link_targets "$f"); do
+        case "$t" in
+            http://*|https://*|mailto:*|"#"*) continue ;;
+        esac
+        t=${t%%#*}          # drop anchors
+        [ -z "$t" ] && continue
+        if [ ! -e "$dir/$t" ]; then
+            echo "FAIL: $rel links to missing file: $t"
+            status=1
+        fi
+    done
+done
+
+# --- 3. inline-code repo paths in docs/ exist ------------------------------
+for f in "$src"/docs/*.md; do
+    rel=${f#"$src"/}
+    for p in $(grep -o '`[A-Za-z0-9_./-]*`' "$f" | tr -d '\140'); do
+        p=${p#./}
+        case "$p" in
+            src/*|docs/*|scripts/*|tests/*|bench/*|examples/*|fuzz/*) ;;
+            *) continue ;;
+        esac
+        # A bare binary name (bench/bench_foo) counts when its source exists.
+        if [ ! -e "$src/$p" ] && [ ! -e "$src/$p.cpp" ]; then
+            echo "FAIL: $rel mentions nonexistent path: $p"
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "OK: README links every docs page; all doc links and paths resolve."
+fi
+exit "$status"

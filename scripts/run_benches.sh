@@ -1,0 +1,38 @@
+#!/bin/sh
+# Run the whole benchmark layer and leave machine-readable results behind.
+#
+#   scripts/run_benches.sh [build-dir] [out-dir]
+#
+# Produces, in out-dir (default: the current directory):
+#   BENCH_parallel.json        thread-scaling of the parallel engines plus
+#                              wall time / exit status of every table bench
+#   BENCH_bench_<name>.json    per-bench obs run report (metrics snapshot)
+#
+# Tunables (environment):
+#   BIBS_BENCH_THREADS   comma list of thread counts   (default 1,2,4,8)
+#   BIBS_BENCH_REPEAT    repetitions per configuration (default 3; min kept)
+#   BIBS_BENCH_PATTERNS  fault-sim patterns per run    (default 4096)
+#   BIBS_BENCH_CYCLES    session/CSTP emulated cycles  (default 1024)
+#
+# See docs/performance.md for the methodology and the JSON schema.
+set -eu
+
+build=${1:-build}
+out=${2:-.}
+
+runner="$build/bench/bench_runner"
+if [ ! -x "$runner" ]; then
+    echo "error: $runner not found or not executable." >&2
+    echo "Build first: cmake -B $build -S . && cmake --build $build -j" >&2
+    exit 1
+fi
+mkdir -p "$out"
+
+exec "$runner" \
+    --threads-list "${BIBS_BENCH_THREADS:-1,2,4,8}" \
+    --repeat "${BIBS_BENCH_REPEAT:-3}" \
+    --patterns "${BIBS_BENCH_PATTERNS:-4096}" \
+    --cycles "${BIBS_BENCH_CYCLES:-1024}" \
+    --suite-dir "$build/bench" \
+    --metrics-dir "$out" \
+    --out "$out/BENCH_parallel.json"

@@ -6,6 +6,7 @@
 
 #include "gate/sim.hpp"
 #include "obs/obs.hpp"
+#include "par/pool.hpp"
 
 namespace bibs::fault {
 
@@ -73,9 +74,6 @@ FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults)
       fanout_[static_cast<std::size_t>(f)].push_back(id);
   for (NetId o : nl.outputs()) observed_[static_cast<std::size_t>(o)] = 1;
   good_.assign(n, 0);
-  cur_.assign(n, 0);
-  queued_.assign(n, 0);
-  buckets_.assign(static_cast<std::size_t>(max_level_) + 1, {});
 }
 
 void FaultSimulator::good_eval(const std::uint64_t* in_words) {
@@ -95,23 +93,24 @@ void FaultSimulator::good_eval(const std::uint64_t* in_words) {
   }
 }
 
-std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes) {
+std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes,
+                                        Scratch& s) const {
   const std::uint64_t lane_mask =
       valid_lanes >= 64 ? ~0ull : ((1ull << valid_lanes) - 1);
-  changed_.clear();
+  s.changed.clear();
   std::uint64_t detect = 0;
 
   auto set_net = [&](NetId net, std::uint64_t v) {
-    auto& slot = cur_[static_cast<std::size_t>(net)];
+    auto& slot = s.cur[static_cast<std::size_t>(net)];
     if (slot == v) return false;
-    if (slot == good_[static_cast<std::size_t>(net)]) changed_.push_back(net);
+    if (slot == good_[static_cast<std::size_t>(net)]) s.changed.push_back(net);
     slot = v;
     return true;
   };
   auto schedule = [&](NetId g) {
-    if (queued_[static_cast<std::size_t>(g)]) return;
-    queued_[static_cast<std::size_t>(g)] = 1;
-    buckets_[static_cast<std::size_t>(level_[static_cast<std::size_t>(g)])]
+    if (s.queued[static_cast<std::size_t>(g)]) return;
+    s.queued[static_cast<std::size_t>(g)] = 1;
+    s.buckets[static_cast<std::size_t>(level_[static_cast<std::size_t>(g)])]
         .push_back(g);
   };
 
@@ -134,7 +133,7 @@ std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes) {
     const Gate& g = nl_->gate(f.net);
     std::uint64_t in[64];
     for (std::size_t i = 0; i < g.fanin.size(); ++i)
-      in[i] = cur_[static_cast<std::size_t>(g.fanin[i])];
+      in[i] = s.cur[static_cast<std::size_t>(g.fanin[i])];
     in[static_cast<std::size_t>(f.pin)] = stuck_word;
     const std::uint64_t v =
         gate::Simulator::eval_gate(g.type, in, g.fanin.size());
@@ -150,16 +149,16 @@ std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes) {
 
   // Event-driven sweep in level order.
   for (int lvl = min_level; lvl <= max_level_; ++lvl) {
-    auto& bucket = buckets_[static_cast<std::size_t>(lvl)];
+    auto& bucket = s.buckets[static_cast<std::size_t>(lvl)];
     for (std::size_t qi = 0; qi < bucket.size(); ++qi) {
       const NetId id = bucket[qi];
-      queued_[static_cast<std::size_t>(id)] = 0;
+      s.queued[static_cast<std::size_t>(id)] = 0;
       // The injection site must keep its forced value.
       if (f.pin < 0 && id == f.net) continue;
       const Gate& g = nl_->gate(id);
       std::uint64_t in[64];
       for (std::size_t i = 0; i < g.fanin.size(); ++i)
-        in[i] = cur_[static_cast<std::size_t>(g.fanin[i])];
+        in[i] = s.cur[static_cast<std::size_t>(g.fanin[i])];
       if (f.pin >= 0 && id == f.net)
         in[static_cast<std::size_t>(f.pin)] = stuck_word;
       const std::uint64_t v =
@@ -174,8 +173,8 @@ std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes) {
   }
 
   // Restore.
-  for (NetId c : changed_)
-    cur_[static_cast<std::size_t>(c)] = good_[static_cast<std::size_t>(c)];
+  for (NetId c : s.changed)
+    s.cur[static_cast<std::size_t>(c)] = good_[static_cast<std::size_t>(c)];
   return detect;
 }
 
@@ -184,6 +183,11 @@ void FaultSimulator::set_progress(obs::ProgressFn fn,
   BIBS_ASSERT(every_patterns > 0);
   progress_ = std::move(fn);
   progress_every_ = every_patterns;
+}
+
+void FaultSimulator::set_threads(int threads) {
+  BIBS_ASSERT(threads >= 0);
+  threads_ = threads;
 }
 
 CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
@@ -196,8 +200,18 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
   BIBS_COUNTER(c_blocks, "fault_sim.blocks");
   BIBS_COUNTER(c_dropped, "fault_sim.faults_dropped");
   BIBS_GAUGE(g_coverage, "fault_sim.coverage");
+  BIBS_GAUGE(g_threads, "par.threads");
   BIBS_HISTOGRAM(h_block_det, "fault_sim.block_detections",
                  (std::vector<double>{0, 1, 2, 4, 8, 16, 32, 64}));
+
+  par::ThreadPool pool(threads_);
+  BIBS_GAUGE_SET(g_threads, pool.threads());
+  std::vector<Scratch> scratch(static_cast<std::size_t>(pool.threads()));
+  for (Scratch& s : scratch) {
+    s.cur.assign(nl_->net_count(), 0);
+    s.queued.assign(nl_->net_count(), 0);
+    s.buckets.assign(static_cast<std::size_t>(max_level_) + 1, {});
+  }
 
   CoverageCurve curve;
   if (resume) {
@@ -220,6 +234,8 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
 
   std::vector<std::uint64_t> in_words(std::max<std::size_t>(
       nl_->inputs().size(), 1));
+  std::vector<std::uint64_t> block_det;  // per live fault, one block
+  block_det.reserve(live.size());
   std::int64_t base = resume ? resume->patterns_run : 0;
   std::int64_t last_new_detection = 0;
   for (std::int64_t d : curve.detected_at)
@@ -257,13 +273,27 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
     lanes = std::min(lanes, lanes_wanted);
 
     good_eval(in_words.data());
-    cur_ = good_;
+
+    // Fan the still-undetected faults out across the pool: chunk boundaries
+    // depend only on live.size() and the thread count, each chunk writes its
+    // per-fault detection words into disjoint block_det slots, and the merge
+    // below walks them in fault-list order — so curve/stall state evolves
+    // exactly as in a serial run whatever the thread count.
+    block_det.resize(live.size());
+    pool.parallel_for_chunks(
+        live.size(), [&](int chunk, std::size_t b, std::size_t e) {
+          if (b == e) return;
+          Scratch& s = scratch[static_cast<std::size_t>(chunk)];
+          s.cur = good_;
+          for (std::size_t li = b; li < e; ++li)
+            block_det[li] = propagate(faults_[live[li]], lanes, s);
+        });
 
     std::size_t keep = 0;
     const std::size_t live_before = live.size();
     for (std::size_t li = 0; li < live.size(); ++li) {
       const std::size_t fi = live[li];
-      const std::uint64_t det = propagate(faults_[fi], lanes);
+      const std::uint64_t det = block_det[li];
       if (det) {
         curve.detected_at[fi] =
             base + std::countr_zero(det);

@@ -9,6 +9,14 @@
 // The simulator operates on purely combinational netlists — for sequential
 // balanced kernels, pass gate::combinational_kernel() output (valid by the
 // BALLAST single-pattern-testability result).
+//
+// Multi-threading (set_threads / BIBS_THREADS): the good-circuit sweep of
+// each 64-pattern block stays a single shared pass; the still-undetected
+// fault list is then partitioned into deterministic contiguous chunks and
+// each worker propagates its chunk against private scratch state. Per-fault
+// detection words are merged on the calling thread in fault-list order, so
+// detected_at, the stall decision, checkpoints and resume are bit-identical
+// for any thread count.
 
 #include <cstdint>
 #include <functional>
@@ -115,17 +123,33 @@ class FaultSimulator {
   /// Installs a progress callback invoked from run() roughly every
   /// `every_patterns` simulated patterns and once more when the run ends.
   /// Pass an empty function to disable. The cadence is block-granular
-  /// (64-pattern blocks), never the inner fault loop.
+  /// (64-pattern blocks), never the inner fault loop; callbacks always fire
+  /// on the thread that called run(), regardless of set_threads.
   void set_progress(obs::ProgressFn fn, std::int64_t every_patterns = 8192);
 
+  /// Worker threads for the per-fault propagation loop. 0 (the default)
+  /// resolves BIBS_THREADS and falls back to serial; results are
+  /// bit-identical for every value (see the header comment).
+  void set_threads(int threads);
+
  private:
+  /// Per-worker mutable state for propagate(); one instance per pool chunk
+  /// so workers never share write access.
+  struct Scratch {
+    std::vector<std::uint64_t> cur;
+    std::vector<gate::NetId> changed;
+    std::vector<char> queued;
+    std::vector<std::vector<gate::NetId>> buckets;  // per level
+  };
+
   void good_eval(const std::uint64_t* in_words);
-  std::uint64_t propagate(const Fault& f, int valid_lanes);
+  std::uint64_t propagate(const Fault& f, int valid_lanes, Scratch& s) const;
 
   const gate::Netlist* nl_;
   FaultList faults_;
   obs::ProgressFn progress_;
   std::int64_t progress_every_ = 8192;
+  int threads_ = 0;  // 0 = BIBS_THREADS, else serial
 
   // Levelized structure.
   std::vector<gate::NetId> topo_;
@@ -134,12 +158,9 @@ class FaultSimulator {
   std::vector<char> observed_;                     // per net: is a PO
   int max_level_ = 0;
 
-  // Scratch.
+  // Good-circuit values of the current block (shared, read-only during the
+  // parallel fault loop).
   std::vector<std::uint64_t> good_;
-  std::vector<std::uint64_t> cur_;
-  std::vector<gate::NetId> changed_;
-  std::vector<char> queued_;
-  std::vector<std::vector<gate::NetId>> buckets_;  // per level
 };
 
 }  // namespace bibs::fault

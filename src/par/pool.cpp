@@ -1,0 +1,111 @@
+#include "par/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace bibs::par {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int env_threads() {
+  const char* s = std::getenv("BIBS_THREADS");
+  if (!s || !*s) return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0 || v > 1 << 16) return 0;
+  return static_cast<int>(v);
+}
+
+int resolve_threads(int requested) {
+  int t = requested > 0 ? requested : env_threads();
+  if (t <= 0) t = 1;
+  return std::min(t, 4 * hardware_threads());
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
+                                                            int k, int c) {
+  BIBS_ASSERT(k >= 1 && c >= 0 && c < k);
+  const std::size_t q = n / static_cast<std::size_t>(k);
+  const std::size_t r = n % static_cast<std::size_t>(k);
+  const std::size_t uc = static_cast<std::size_t>(c);
+  const std::size_t begin = uc * q + std::min(uc, r);
+  return {begin, begin + q + (uc < r ? 1 : 0)};
+}
+
+ThreadPool::ThreadPool(int threads) : n_(resolve_threads(threads)) {
+  errors_.assign(static_cast<std::size_t>(n_), nullptr);
+  workers_.reserve(static_cast<std::size_t>(n_ - 1));
+  for (int w = 1; w < n_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(int chunk) {
+  const auto [begin, end] = chunk_range(job_n_, n_, chunk);
+  try {
+    (*job_)(chunk, begin, end);
+  } catch (...) {
+    errors_[static_cast<std::size_t>(chunk)] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_chunk(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(std::size_t n, const ChunkFn& fn) {
+  BIBS_COUNTER(c_jobs, "par.jobs");
+  BIBS_COUNTER_ADD(c_jobs, 1);
+
+  if (n_ == 1) {  // serial pool: a plain loop on the caller's thread
+    fn(0, 0, n);
+    return;
+  }
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    pending_ = n_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& e : errors_)  // lowest chunk index wins
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace bibs::par

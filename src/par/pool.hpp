@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic data parallelism for the engines. A ThreadPool owns a fixed
+// set of worker threads (no work stealing, no dynamic scheduling):
+// parallel_for_chunks splits an index range [0, n) into exactly threads()
+// contiguous chunks whose boundaries depend only on n and the thread count,
+// and chunk c always executes as logical worker c. Callers that write
+// per-index results into chunk-local slots and merge them in index order
+// therefore produce bit-identical output for *any* thread count — the
+// property the fault simulator and session emulators build their
+// "parallelism never changes results" contract on.
+//
+// Thread-count resolution: every engine takes an explicit count via
+// set_threads(n); n == 0 means "use the BIBS_THREADS environment variable,
+// default 1". The default is deliberately serial so existing callers and
+// golden tests see byte-for-byte the old behaviour unless parallelism is
+// asked for.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bibs::par {
+
+/// max(1, std::thread::hardware_concurrency()).
+int hardware_threads();
+
+/// BIBS_THREADS parsed as a positive integer; 0 when unset or malformed.
+/// The value "0" (and negative / garbage values) count as unset.
+int env_threads();
+
+/// Resolves an engine's requested thread count: requested > 0 wins,
+/// otherwise BIBS_THREADS, otherwise 1. The result is clamped to
+/// [1, 4 * hardware_threads()] — oversubscription beyond that is always a
+/// configuration accident.
+int resolve_threads(int requested);
+
+/// Fixed-size fork/join pool. threads() == 1 degenerates to inline execution
+/// on the caller's thread: no workers are spawned and parallel_for_chunks is
+/// a plain loop, so a serial pool adds zero scheduling overhead.
+class ThreadPool {
+ public:
+  /// `threads` is resolved via resolve_threads (so 0 honours BIBS_THREADS).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return n_; }
+
+  /// fn(chunk, begin, end) over threads() contiguous chunks of [0, n).
+  /// Chunk sizes differ by at most one (the first n % threads() chunks get
+  /// the extra element); chunks beyond n are called with begin == end so a
+  /// chunk index always maps to the same per-worker scratch slot. Chunk 0
+  /// runs on the calling thread. Blocks until every chunk returned; if
+  /// chunks threw, the exception of the lowest-indexed chunk is rethrown
+  /// (deterministic regardless of completion order).
+  using ChunkFn = std::function<void(int chunk, std::size_t begin,
+                                     std::size_t end)>;
+  void parallel_for_chunks(std::size_t n, const ChunkFn& fn);
+
+  /// The half-open index range chunk c covers in [0, n) under k chunks.
+  static std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, int k,
+                                                         int c);
+
+ private:
+  void worker_loop(int worker);
+  void run_chunk(int chunk);
+
+  int n_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const ChunkFn* job_ = nullptr;  // guarded by mu_
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;  // one slot per chunk
+};
+
+}  // namespace bibs::par

@@ -1,8 +1,11 @@
 #include "sim/cstp.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/bitvec.hpp"
+#include "obs/obs.hpp"
+#include "par/pool.hpp"
 #include "sim/lane_engine.hpp"
 
 namespace bibs::sim {
@@ -12,6 +15,11 @@ using gate::NetId;
 CstpSession::CstpSession(const gate::Netlist& nl) : nl_(&nl) {
   ring_ = nl.dffs();
   BIBS_ASSERT(!ring_.empty());
+}
+
+void CstpSession::set_threads(int threads) {
+  BIBS_ASSERT(threads >= 0);
+  threads_ = threads;
 }
 
 CstpReport CstpSession::run(const fault::FaultList& faults,
@@ -24,10 +32,20 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
   std::vector<char> det_ideal(faults.size(), 0);
   std::vector<char> det_sig(faults.size(), 0);
 
-  std::int64_t work_done = 0;
-  bool interrupted = false;
-  std::size_t base = 0;
-  do {
+  const std::size_t n_batches =
+      std::max<std::size_t>(1, (faults.size() + 62) / 63);
+  std::atomic<std::int64_t> work_done{0};
+
+  struct BatchResult {
+    bool completed = false;
+    rt::RunStatus status = rt::RunStatus::kFinished;
+    std::vector<char> det_ideal;  // per fault of this batch
+    std::vector<char> det_sig;
+  };
+  std::vector<BatchResult> results(n_batches);
+
+  const auto run_batch = [&](std::size_t bi, BatchResult& out) {
+    const std::size_t base = bi * 63;
     const std::size_t batch = std::min<std::size_t>(
         63, faults.size() > base ? faults.size() - base : 0);
     LaneEngine eng(*nl_,
@@ -37,20 +55,20 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
     eng.set_dff_state(ring_.front(), ~0ull);
 
     std::uint64_t diverged = 0;
+    std::vector<std::uint64_t> prev(ring_.size());
     for (std::int64_t t = 0; t < cycles; ++t) {
       if ((t & 63) == 0) {
-        if (const rt::RunStatus st = ctl.interruption(work_done);
+        if (const rt::RunStatus st = ctl.interruption(
+                work_done.load(std::memory_order_relaxed));
             st != rt::RunStatus::kFinished) {
-          rep.status = st;
-          interrupted = true;
-          break;
+          out.status = st;
+          return;  // drop the in-flight batch whole
         }
       }
-      ++work_done;
+      work_done.fetch_add(1, std::memory_order_relaxed);
       eng.eval();
       // Splice: next(FF_i) = D_i XOR Q(FF_{i-1}), circularly. Capture the
       // present ring states first (all updates are simultaneous).
-      std::vector<std::uint64_t> prev(ring_.size());
       for (std::size_t i = 0; i < ring_.size(); ++i)
         prev[i] = eng.state(ring_[i]);
       for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -65,20 +83,47 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
         diverged |= v ^ ((v & 1u) ? ~0ull : 0ull);
       }
     }
-    if (interrupted) break;  // drop the in-flight batch whole
+    out.det_ideal.assign(batch, 0);
+    out.det_sig.assign(batch, 0);
     for (std::size_t k = 0; k < batch; ++k) {
-      if ((diverged >> (k + 1)) & 1u) det_ideal[base + k] = 1;
+      if ((diverged >> (k + 1)) & 1u) out.det_ideal[k] = 1;
       for (NetId ff : ring_) {
         const std::uint64_t v = eng.state(ff);
         const std::uint64_t good = (v & 1u) ? ~0ull : 0ull;
         if ((v ^ good) >> (k + 1) & 1u) {
-          det_sig[base + k] = 1;
+          out.det_sig[k] = 1;
           break;
         }
       }
     }
-    base += 63;
-  } while (base < faults.size());
+    out.completed = true;
+  };
+
+  // Same deterministic batch dispatch + prefix merge as sim::BistSession:
+  // contiguous chunks, a worker abandons its chunk on interruption, and only
+  // the completed batch prefix reaches the report.
+  par::ThreadPool pool(threads_);
+  BIBS_GAUGE(g_threads, "par.threads");
+  BIBS_GAUGE_SET(g_threads, pool.threads());
+  pool.parallel_for_chunks(n_batches,
+                           [&](int, std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) {
+                               run_batch(i, results[i]);
+                               if (!results[i].completed) return;
+                             }
+                           });
+
+  std::size_t completed = 0;
+  while (completed < n_batches && results[completed].completed) {
+    const std::size_t base = completed * 63;
+    const BatchResult& r = results[completed];
+    for (std::size_t k = 0; k < r.det_ideal.size(); ++k) {
+      if (r.det_ideal[k]) det_ideal[base + k] = 1;
+      if (r.det_sig[k]) det_sig[base + k] = 1;
+    }
+    ++completed;
+  }
+  if (completed < n_batches) rep.status = results[completed].status;
 
   rep.detected_ideal = static_cast<std::size_t>(
       std::count(det_ideal.begin(), det_ideal.end(), 1));

@@ -41,6 +41,11 @@ class CstpSession {
   CstpReport run(const fault::FaultList& faults, std::int64_t cycles,
                  const rt::RunControl& ctl = {}) const;
 
+  /// Worker threads for the independent 63-fault batches (same deterministic
+  /// chunking as sim::BistSession). 0 (the default) resolves BIBS_THREADS
+  /// and falls back to serial; reports are bit-identical for every value.
+  void set_threads(int threads);
+
   /// Fault-free run measuring *pattern* coverage: the number of cycles until
   /// the watched flip-flops (<= 24 of them) have taken `target` distinct
   /// joint values, or -1 if max_cycles pass first (or the run was
@@ -55,6 +60,7 @@ class CstpSession {
  private:
   const gate::Netlist* nl_;
   std::vector<gate::NetId> ring_;
+  int threads_ = 0;  // 0 = BIBS_THREADS, else serial
 };
 
 }  // namespace bibs::sim

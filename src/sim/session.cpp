@@ -1,12 +1,14 @@
 #include "sim/session.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "gate/sim.hpp"
 #include "obs/obs.hpp"
+#include "par/pool.hpp"
 #include "sim/lane_engine.hpp"
 #include "lfsr/lfsr.hpp"
 #include "lfsr/misr.hpp"
@@ -76,6 +78,11 @@ void BistSession::set_progress(obs::ProgressFn fn, std::int64_t every_cycles) {
   progress_every_ = every_cycles;
 }
 
+void BistSession::set_threads(int threads) {
+  BIBS_ASSERT(threads >= 0);
+  threads_ = threads;
+}
+
 SessionReport BistSession::run(const fault::FaultList& faults,
                                std::int64_t cycles,
                                const rt::RunControl& ctl,
@@ -129,15 +136,42 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   // session including batches a resumed run skips.
   const std::int64_t total_work =
       cycles * static_cast<std::int64_t>(n_batches);
-  std::int64_t work_done = cycles * static_cast<std::int64_t>(completed);
-  std::int64_t next_progress = work_done + progress_every_;
+  std::atomic<std::int64_t> work_done{cycles *
+                                      static_cast<std::int64_t>(completed)};
+  std::int64_t next_progress =
+      work_done.load(std::memory_order_relaxed) + progress_every_;
 
   int max_shift = 0;
   for (const auto& labels : tpg_.cell_label)
     for (int l : labels) max_shift = std::max(max_shift, l - tpg_.min_label);
 
-  bool interrupted = false;
-  for (std::size_t bi = completed; bi < n_batches && !interrupted; ++bi) {
+  par::ThreadPool pool(threads_);
+  BIBS_GAUGE(g_threads, "par.threads");
+  BIBS_GAUGE_SET(g_threads, pool.threads());
+  const bool serial = pool.threads() == 1;
+
+  struct BatchResult {
+    bool completed = false;
+    rt::RunStatus status = rt::RunStatus::kFinished;
+    std::vector<char> det_out;          // per fault of this batch
+    std::vector<char> det_sig;
+    std::vector<std::uint64_t> golden;  // per output register
+  };
+  std::vector<BatchResult> results(n_batches);
+
+  // Idempotent, so the serial path may merge eagerly (for progress counts)
+  // and the prefix scan below may merge again.
+  const auto merge_batch = [&](std::size_t bi) {
+    const BatchResult& r = results[bi];
+    const std::size_t base = bi * 63;
+    for (std::size_t k = 0; k < r.det_out.size(); ++k) {
+      if (r.det_out[k]) det_out[base + k] = 1;
+      if (r.det_sig[k]) det_sig[base + k] = 1;
+    }
+    if (bi == 0) rep.golden_signatures = r.golden;
+  };
+
+  const auto run_batch = [&](std::size_t bi, BatchResult& out) {
     const std::size_t base = bi * 63;
     const std::size_t batch = std::min<std::size_t>(
         63, faults.size() > base ? faults.size() - base : 0);
@@ -163,11 +197,11 @@ SessionReport BistSession::run(const fault::FaultList& faults,
       // Poll run control at 64-cycle granularity; an interrupted batch is
       // discarded whole (resume re-runs it from its start, bit-exactly).
       if ((t & 63) == 0) {
-        if (const rt::RunStatus st = ctl.interruption(work_done);
+        if (const rt::RunStatus st = ctl.interruption(
+                work_done.load(std::memory_order_relaxed));
             st != rt::RunStatus::kFinished) {
-          rep.status = st;
-          interrupted = true;
-          break;
+          out.status = st;
+          return;
         }
       }
       for (std::size_t ri = 0; ri < input_q_.size(); ++ri) {
@@ -200,11 +234,12 @@ SessionReport BistSession::run(const fault::FaultList& faults,
       hist.push_front(gen.stage(1));
       hist.pop_back();
 
-      ++work_done;
-      if (progress_ && work_done >= next_progress) {
+      const std::int64_t done =
+          work_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (serial && progress_ && done >= next_progress) {
         obs::Progress p;
         p.phase = "session";
-        p.done = work_done;
+        p.done = done;
         p.total = total_work;
         p.faults_detected = static_cast<std::int64_t>(
             std::count(det_sig.begin(), det_sig.end(), 1));
@@ -215,25 +250,55 @@ SessionReport BistSession::run(const fault::FaultList& faults,
                          : static_cast<double>(p.faults_detected) /
                                static_cast<double>(faults.size());
         progress_(p);
-        next_progress = work_done + progress_every_;
+        next_progress = done + progress_every_;
       }
     }
-    if (interrupted) break;
-    BIBS_COUNTER_ADD(c_cycles, cycles);
-    BIBS_COUNTER_ADD(c_batches, 1);
 
+    out.det_out.assign(batch, 0);
+    out.det_sig.assign(batch, 0);
     for (std::size_t k = 0; k < batch; ++k) {
-      if ((out_diff_seen >> (k + 1)) & 1u) det_out[base + k] = 1;
+      if ((out_diff_seen >> (k + 1)) & 1u) out.det_out[k] = 1;
       for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
         if (misr[oi][k + 1].signature() != misr[oi][0].signature()) {
-          det_sig[base + k] = 1;
+          out.det_sig[k] = 1;
           break;
         }
     }
-    if (bi == 0)
-      for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
-        rep.golden_signatures[oi] = misr[oi][0].signature();
+    out.golden.resize(output_d_.size());
+    for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
+      out.golden[oi] = misr[oi][0].signature();
+    out.completed = true;
+  };
+
+  // Dispatch the remaining batches as deterministic contiguous chunks; a
+  // worker whose batch is interrupted abandons the rest of its chunk (the
+  // other workers observe the same stop condition at their next poll).
+  if (completed < n_batches) {
+    const std::size_t first = completed;
+    pool.parallel_for_chunks(
+        n_batches - completed, [&](int, std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const std::size_t bi = first + i;
+            run_batch(bi, results[bi]);
+            if (!results[bi].completed) return;
+            if (serial) merge_batch(bi);
+          }
+        });
+  }
+
+  // Keep exactly the completed batch *prefix*: checkpoints record a prefix
+  // count, so a batch that finished beyond an interrupted one is discarded
+  // and deterministically re-run on resume.
+  while (completed < n_batches && results[completed].completed) {
+    merge_batch(completed);
+    BIBS_COUNTER_ADD(c_cycles, cycles);
+    BIBS_COUNTER_ADD(c_batches, 1);
     ++completed;
+  }
+  if (completed < n_batches) {
+    // The first incomplete batch was necessarily the one that observed the
+    // stop condition (chunks are contiguous and abandon in order).
+    rep.status = results[completed].status;
   }
 
   rep.detected_at_outputs =
@@ -260,7 +325,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   if (progress_) {
     obs::Progress p;
     p.phase = "session";
-    p.done = work_done;
+    p.done = work_done.load(std::memory_order_relaxed);
     p.total = total_work;
     p.faults_detected = static_cast<std::int64_t>(rep.detected_by_signature);
     p.faults_live = static_cast<std::int64_t>(rep.total_faults) -

@@ -8,6 +8,13 @@
 // with one injected stuck-at fault each. Detection is judged on final MISR
 // signatures, so signature aliasing is modelled (and measured) rather than
 // assumed away.
+//
+// Multi-threading (set_threads / BIBS_THREADS): the 63-fault batches are
+// independent whole-session reruns, so they dispatch to pool workers as
+// deterministic contiguous chunks, each with its own LaneEngine / TPG / MISR
+// state. Results merge in batch order and an interrupted run keeps only the
+// completed batch *prefix*, so reports, checkpoints and resume are
+// bit-identical for any thread count.
 
 #include <cstdint>
 #include <vector>
@@ -68,8 +75,15 @@ class BistSession {
 
   /// Installs a progress callback invoked from run() roughly every
   /// `every_cycles` emulated clock cycles (across all 63-fault batches) and
-  /// once more when the run ends. Pass an empty function to disable.
+  /// once more when the run ends. Pass an empty function to disable. With
+  /// more than one thread the cadence degrades to batch-merge boundaries
+  /// (callbacks still fire on the thread that called run()).
   void set_progress(obs::ProgressFn fn, std::int64_t every_cycles = 4096);
+
+  /// Worker threads for the independent 63-fault batches. 0 (the default)
+  /// resolves BIBS_THREADS and falls back to serial; reports, checkpoints
+  /// and resume are bit-identical for every value.
+  void set_threads(int threads);
 
  private:
   const rtl::Netlist* n_;
@@ -79,6 +93,7 @@ class BistSession {
   int depth_ = 0;
   obs::ProgressFn progress_;
   std::int64_t progress_every_ = 4096;
+  int threads_ = 0;  // 0 = BIBS_THREADS, else serial
 
   /// Gate nets belonging to the kernel's cone (fault sites).
   std::vector<gate::NetId> cone_;

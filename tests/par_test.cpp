@@ -1,0 +1,376 @@
+// Tests for bibs::par — the deterministic fixed-chunk fork/join pool — and
+// for the contract the engines build on it: fault-simulation coverage
+// curves, BIST-session MISR signatures and CSTP reports are bit-identical
+// for any thread count, including through a mid-run cancel + resume.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/datapaths.hpp"
+#include "common/prng.hpp"
+#include "core/designer.hpp"
+#include "fault/simulator.hpp"
+#include "gate/synth.hpp"
+#include "obs/json.hpp"
+#include "par/pool.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/control.hpp"
+#include "sim/cstp.hpp"
+#include "sim/session.hpp"
+
+namespace bibs {
+namespace {
+
+constexpr std::int64_t kNoStall = std::numeric_limits<std::int64_t>::max();
+
+// ------------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPool, ChunkRangesPartitionTheIndexSpace) {
+  for (std::size_t n : {0u, 1u, 5u, 63u, 64u, 101u, 1000u}) {
+    for (int k : {1, 2, 3, 4, 8}) {
+      std::size_t expected_begin = 0;
+      for (int c = 0; c < k; ++c) {
+        const auto [b, e] = par::ThreadPool::chunk_range(n, k, c);
+        EXPECT_EQ(b, expected_begin) << "n=" << n << " k=" << k << " c=" << c;
+        EXPECT_LE(e - b, n / static_cast<std::size_t>(k) + 1);
+        expected_begin = e;
+      }
+      EXPECT_EQ(expected_begin, n) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  par::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_chunks(hits.size(), [&](int, std::size_t b,
+                                            std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkZeroRunsOnTheCallingThread) {
+  par::ThreadPool pool(3);
+  std::thread::id chunk0_id;
+  pool.parallel_for_chunks(3, [&](int chunk, std::size_t, std::size_t) {
+    if (chunk == 0) chunk0_id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(chunk0_id, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineAsOneChunk) {
+  par::ThreadPool pool(1);
+  int calls = 0;
+  std::size_t seen_begin = 99, seen_end = 0;
+  pool.parallel_for_chunks(17, [&](int chunk, std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(chunk, 0);
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, 17u);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossJobs) {
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for_chunks(100, [&](int, std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPool, LowestChunkExceptionWinsDeterministically) {
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.parallel_for_chunks(4, [&](int chunk, std::size_t, std::size_t) {
+        if (chunk == 1) throw std::runtime_error("chunk one");
+        if (chunk == 3) throw std::runtime_error("chunk three");
+      });
+      FAIL() << "exceptions were swallowed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk one");
+    }
+  }
+}
+
+TEST(ThreadPool, ResolveThreadsHonoursRequestThenEnvThenSerialDefault) {
+  const char* saved = std::getenv("BIBS_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  unsetenv("BIBS_THREADS");
+  EXPECT_EQ(par::resolve_threads(3), 3);
+  EXPECT_EQ(par::resolve_threads(0), 1);
+  EXPECT_EQ(par::env_threads(), 0);
+
+  setenv("BIBS_THREADS", "2", 1);
+  EXPECT_EQ(par::env_threads(), 2);
+  EXPECT_EQ(par::resolve_threads(0), 2);
+  EXPECT_EQ(par::resolve_threads(3), 3);  // explicit request wins
+
+  setenv("BIBS_THREADS", "not-a-number", 1);
+  EXPECT_EQ(par::env_threads(), 0);
+  EXPECT_EQ(par::resolve_threads(0), 1);
+
+  setenv("BIBS_THREADS", "-4", 1);
+  EXPECT_EQ(par::env_threads(), 0);
+
+  if (saved)
+    setenv("BIBS_THREADS", saved_value.c_str(), 1);
+  else
+    unsetenv("BIBS_THREADS");
+}
+
+TEST(ThreadPool, ThreadCountIsClampedAgainstOversubscription) {
+  EXPECT_EQ(par::resolve_threads(1 << 20), 4 * par::hardware_threads());
+  EXPECT_GE(par::hardware_threads(), 1);
+}
+
+// -------------------------------------------------- fault-sim invariance --
+
+// The c3a2m whole-data-path combinational kernel: a realistic netlist
+// (thousands of gates / collapsed faults) so the parallel fault loop does
+// real work in every block.
+gate::Netlist datapath_kernel() {
+  const rtl::Netlist n = circuits::make_c3a2m();
+  const gate::Elaboration elab = gate::elaborate(n);
+  std::vector<rtl::ConnId> in_regs, out_regs;
+  for (const auto& c : n.connections()) {
+    if (!c.is_register()) continue;
+    if (n.block(c.from).kind == rtl::BlockKind::kInput) in_regs.push_back(c.id);
+    if (n.block(c.to).kind == rtl::BlockKind::kOutput) out_regs.push_back(c.id);
+  }
+  return gate::combinational_kernel(elab, n, in_regs, out_regs);
+}
+
+fault::CoverageCurve random_curve(const gate::Netlist& nl, int threads,
+                                  std::int64_t patterns) {
+  fault::FaultSimulator sim(nl, fault::FaultList::collapsed(nl));
+  sim.set_threads(threads);
+  Xoshiro256 rng(1994);
+  return sim.run_random(rng, patterns, kNoStall);
+}
+
+TEST(FaultSimPar, CoverageCurveIsBitIdenticalAcrossThreadCounts) {
+  const gate::Netlist nl = datapath_kernel();
+  const fault::CoverageCurve one = random_curve(nl, 1, 1024);
+  ASSERT_GT(one.detected_count(), 0u);
+
+  for (int threads : {2, par::hardware_threads(), 4}) {
+    const fault::CoverageCurve many = random_curve(nl, threads, 1024);
+    EXPECT_EQ(many.patterns_run, one.patterns_run) << threads << " threads";
+    EXPECT_EQ(many.detected_at, one.detected_at) << threads << " threads";
+    EXPECT_EQ(many.status, one.status);
+  }
+}
+
+TEST(FaultSimPar, WeightedAndExhaustiveRunsMatchAcrossThreadCounts) {
+  // A 16-input AND cone is random-pattern resistant, so weighted patterns
+  // and the exhaustive sweep exercise detection at very different indices.
+  gate::Netlist nl;
+  gate::Bus ins;
+  for (int i = 0; i < 16; ++i)
+    ins.push_back(nl.add_input("i" + std::to_string(i)));
+  nl.mark_output(nl.add_gate(gate::GateType::kAnd, ins, "all"), "y");
+
+  fault::FaultSimulator serial(nl, fault::FaultList::full(nl));
+  fault::FaultSimulator parallel(nl, fault::FaultList::full(nl));
+  parallel.set_threads(4);
+
+  Xoshiro256 rng_a(7), rng_b(7);
+  const auto wa = serial.run_weighted(rng_a, 0.9, 4096, kNoStall);
+  const auto wb = parallel.run_weighted(rng_b, 0.9, 4096, kNoStall);
+  EXPECT_EQ(wa.detected_at, wb.detected_at);
+  EXPECT_EQ(wa.patterns_run, wb.patterns_run);
+
+  const auto ea = serial.run_exhaustive();
+  const auto eb = parallel.run_exhaustive();
+  EXPECT_EQ(ea.detected_at, eb.detected_at);
+  EXPECT_EQ(ea.patterns_run, eb.patterns_run);
+}
+
+TEST(FaultSimPar, StallLimitDecisionIsThreadCountInvariant) {
+  const gate::Netlist nl = datapath_kernel();
+  // A tight stall limit makes the stop decision depend on the merged
+  // last-detection bookkeeping — the part a racy merge would corrupt.
+  const std::int64_t stall = 128;
+  fault::FaultSimulator a(nl, fault::FaultList::collapsed(nl));
+  fault::FaultSimulator b(nl, fault::FaultList::collapsed(nl));
+  b.set_threads(4);
+  Xoshiro256 rng_a(3), rng_b(3);
+  const auto ca = a.run_random(rng_a, 1 << 16, stall);
+  const auto cb = b.run_random(rng_b, 1 << 16, stall);
+  EXPECT_EQ(ca.patterns_run, cb.patterns_run);
+  EXPECT_EQ(ca.detected_at, cb.detected_at);
+}
+
+TEST(FaultSimPar, CancelAndResumeUnderFourThreadsIsBitExact) {
+  const gate::Netlist nl = datapath_kernel();
+  const fault::FaultList fl = fault::FaultList::collapsed(nl);
+  const std::int64_t patterns = 8192;
+
+  // Reference: uninterrupted serial run.
+  fault::FaultSimulator ref(nl, fl);
+  Xoshiro256 ref_rng(42);
+  const fault::CoverageCurve full = ref.run_random(ref_rng, patterns, kNoStall);
+  ASSERT_EQ(full.status, rt::RunStatus::kFinished);
+
+  // Same run under 4 threads, cancelled from the progress callback once a
+  // quarter of the patterns are through, checkpointed through a JSON round
+  // trip, resumed under 4 threads with a wrong-seeded generator.
+  fault::FaultSimulator sim(nl, fl);
+  sim.set_threads(4);
+  rt::RunControl ctl;
+  sim.set_progress(
+      [&](const obs::Progress& p) {
+        if (p.done >= patterns / 4) ctl.token.request_cancel();
+      },
+      512);
+  Xoshiro256 rng(42);
+  const fault::CoverageCurve part =
+      sim.run_random(rng, patterns, kNoStall, ctl);
+  ASSERT_EQ(part.status, rt::RunStatus::kCancelled);
+  ASSERT_GT(part.patterns_run, 0);
+  ASSERT_LT(part.patterns_run, patterns);
+
+  const rt::SimCheckpoint loaded = rt::SimCheckpoint::from_json(
+      obs::Json::parse(sim.make_checkpoint(part, &rng).to_json().dump()));
+
+  fault::FaultSimulator resumed_sim(nl, fl);
+  resumed_sim.set_threads(4);
+  Xoshiro256 wrong_rng(999);
+  const fault::CoverageCurve resumed =
+      resumed_sim.run_random(wrong_rng, patterns, kNoStall, {}, &loaded);
+  EXPECT_EQ(resumed.status, rt::RunStatus::kFinished);
+  EXPECT_EQ(resumed.patterns_run, full.patterns_run);
+  EXPECT_EQ(resumed.detected_at, full.detected_at);
+}
+
+// ---------------------------------------------------- session invariance --
+
+struct Rig {
+  rtl::Netlist n;
+  gate::Elaboration elab;
+  core::DesignResult design;
+  std::vector<core::Kernel> kernels;
+};
+
+Rig make_rig() {
+  Rig s;
+  s.n = circuits::make_c3a2m();
+  s.elab = gate::elaborate(s.n);
+  s.design = core::design_bibs(s.n);
+  for (const core::Kernel& k : s.design.report.kernels)
+    if (!k.trivial) s.kernels.push_back(k);
+  return s;
+}
+
+TEST(SessionPar, SignaturesAndDetectionsAreBitIdenticalAcrossThreadCounts) {
+  const Rig s = make_rig();
+  ASSERT_FALSE(s.kernels.empty());
+  sim::BistSession session(s.n, s.elab, s.design.bilbo, s.kernels[0]);
+  const fault::FaultList faults = session.kernel_faults();
+  ASSERT_GT(faults.size(), 2u * 63u);  // at least three 63-fault batches
+
+  const std::int64_t cycles = 256;
+  rt::SessionCheckpoint ref_ck;
+  session.set_threads(1);
+  const sim::SessionReport ref =
+      session.run(faults, cycles, {}, nullptr, &ref_ck);
+  ASSERT_EQ(ref.status, rt::RunStatus::kFinished);
+  ASSERT_GT(ref.detected_by_signature, 0u);
+
+  for (int threads : {2, par::hardware_threads(), 4}) {
+    session.set_threads(threads);
+    rt::SessionCheckpoint ck;
+    const sim::SessionReport rep =
+        session.run(faults, cycles, {}, nullptr, &ck);
+    EXPECT_EQ(rep.status, rt::RunStatus::kFinished);
+    EXPECT_EQ(rep.golden_signatures, ref.golden_signatures)
+        << threads << " threads";
+    EXPECT_EQ(rep.detected_at_outputs, ref.detected_at_outputs);
+    EXPECT_EQ(rep.detected_by_signature, ref.detected_by_signature);
+    EXPECT_EQ(rep.aliased, ref.aliased);
+    EXPECT_EQ(ck.detected_at_outputs, ref_ck.detected_at_outputs)
+        << threads << " threads";
+    EXPECT_EQ(ck.detected_by_signature, ref_ck.detected_by_signature);
+    EXPECT_EQ(ck.golden_signatures, ref_ck.golden_signatures);
+    EXPECT_EQ(ck.batches_done, ref_ck.batches_done);
+  }
+}
+
+TEST(SessionPar, CancelAndResumeUnderFourThreadsMatchesUninterruptedRun) {
+  const Rig s = make_rig();
+  ASSERT_FALSE(s.kernels.empty());
+  sim::BistSession session(s.n, s.elab, s.design.bilbo, s.kernels[0]);
+  const fault::FaultList faults = session.kernel_faults();
+
+  const std::int64_t cycles = 256;
+  session.set_threads(1);
+  const sim::SessionReport full = session.run(faults, cycles);
+  ASSERT_EQ(full.status, rt::RunStatus::kFinished);
+
+  // Cancel from another thread mid-run under 4 threads. Wherever the cancel
+  // lands, the checkpointed prefix must resume to the uninterrupted result.
+  session.set_threads(4);
+  rt::RunControl ctl;
+  std::thread canceller([&ctl] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ctl.token.request_cancel();
+  });
+  rt::SessionCheckpoint ck;
+  const sim::SessionReport part =
+      session.run(faults, cycles, ctl, nullptr, &ck);
+  canceller.join();
+  ASSERT_LE(ck.batches_done, (faults.size() + 62) / 63);
+
+  const rt::SessionCheckpoint loaded = rt::SessionCheckpoint::from_json(
+      obs::Json::parse(ck.to_json().dump()));
+  const sim::SessionReport resumed =
+      session.run(faults, cycles, {}, &loaded);
+  EXPECT_EQ(resumed.status, rt::RunStatus::kFinished);
+  EXPECT_EQ(resumed.detected_at_outputs, full.detected_at_outputs);
+  EXPECT_EQ(resumed.detected_by_signature, full.detected_by_signature);
+  EXPECT_EQ(resumed.aliased, full.aliased);
+  EXPECT_EQ(resumed.golden_signatures, full.golden_signatures);
+}
+
+TEST(CstpPar, ReportIsBitIdenticalAcrossThreadCounts) {
+  const Rig s = make_rig();
+  sim::CstpSession cstp(s.elab.netlist);
+  const fault::FaultList faults = fault::FaultList::collapsed(s.elab.netlist);
+  ASSERT_GT(faults.size(), 63u);
+
+  cstp.set_threads(1);
+  const sim::CstpReport ref = cstp.run(faults, 128);
+  ASSERT_EQ(ref.status, rt::RunStatus::kFinished);
+
+  for (int threads : {2, 4}) {
+    cstp.set_threads(threads);
+    const sim::CstpReport rep = cstp.run(faults, 128);
+    EXPECT_EQ(rep.status, rt::RunStatus::kFinished);
+    EXPECT_EQ(rep.detected_ideal, ref.detected_ideal) << threads;
+    EXPECT_EQ(rep.detected_by_signature, ref.detected_by_signature);
+  }
+}
+
+}  // namespace
+}  // namespace bibs
