@@ -225,6 +225,8 @@ obs::Json run_suite_section(const Options& o) {
     if (name.rfind("bench_", 0) != 0) continue;
     if (name == "bench_runner") continue;     // that's us
     if (name == "bench_throughput") continue; // google-benchmark, minutes-long
+    if (name == "bench_kernel") continue;     // run_benches.sh invokes it
+                                              // explicitly (own JSON schema)
     if (!fs::is_regular_file(e.path())) continue;
     binaries.push_back(e.path());
   }

@@ -6,6 +6,8 @@
 # Produces, in out-dir (default: the current directory):
 #   BENCH_parallel.json        thread-scaling of the parallel engines plus
 #                              wall time / exit status of every table bench
+#   BENCH_kernel.json          compiled vs interpreted gate-evaluation kernel
+#                              (throughput + bit-identity gates)
 #   BENCH_bench_<name>.json    per-bench obs run report (metrics snapshot)
 #
 # Tunables (environment):
@@ -27,6 +29,10 @@ if [ ! -x "$runner" ]; then
     exit 1
 fi
 mkdir -p "$out"
+
+# Compiled-kernel bench first: it exits nonzero if any bit-identity gate
+# fails, aborting the run before the (longer) scaling section.
+"$build/bench/bench_kernel" --out "$out/BENCH_kernel.json"
 
 exec "$runner" \
     --threads-list "${BIBS_BENCH_THREADS:-1,2,4,8}" \

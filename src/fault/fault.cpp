@@ -23,9 +23,11 @@ namespace {
 
 }  // namespace
 
-FaultList FaultList::from_faults(std::vector<Fault> faults) {
+FaultList FaultList::from_faults(std::vector<Fault> faults,
+                                 std::size_t full_size) {
   FaultList fl;
   fl.faults_ = std::move(faults);
+  fl.full_size_ = full_size;
   return fl;
 }
 
@@ -62,10 +64,11 @@ FaultList FaultList::full(const Netlist& nl) {
       fl.faults_.push_back({id, static_cast<int>(k), true});
     }
   }
+  fl.full_size_ = fl.faults_.size();
   return fl;
 }
 
-FaultList FaultList::collapsed(const Netlist& nl) {
+FaultList FaultList::collapsed(const Netlist& nl, bool dominance) {
   // Start from the full list and drop input faults that are equivalent to a
   // fault on the same gate's output:
   //   AND : in s-a-0 == out s-a-0      NAND: in s-a-0 == out s-a-1
@@ -86,6 +89,24 @@ FaultList FaultList::collapsed(const Netlist& nl) {
       case GateType::kBuf:
       case GateType::kNot: return true;  // both polarities map through
       default: return false;             // XOR/XNOR/DFF: nothing collapses
+    }
+  };
+
+  // Dominance: every test for an input pin stuck at the non-controlling
+  // value must set all other pins non-controlling and observe the output,
+  // so it also detects the output stuck at the faulty response value
+  // (AND: in s-a-1 -> out s-a-1; NAND: -> out s-a-0; OR/NOR dually). On a
+  // fanout-free stem (exactly one consumer, so pin and stem share their
+  // whole observation path) the dominated output fault may be dropped —
+  // dominance chains bottom out at primary-input stems, which are kept.
+  auto dominated = [&](GateType t, bool v) {
+    switch (t) {
+      case GateType::kAnd: return v == true;
+      case GateType::kNand: return v == false;
+      case GateType::kOr: return v == false;
+      case GateType::kNor: return v == true;
+      default: return false;  // BUF/NOT are equivalences; XOR has no
+                              // controlling value, so nothing dominates
     }
   };
 
@@ -117,9 +138,15 @@ FaultList FaultList::collapsed(const Netlist& nl) {
       bool keep = true;
       const NetId c = sole_consumer[static_cast<std::size_t>(id)];
       if (c != gate::kNoNet && absorbed(nl.gate(c).type, v)) keep = false;
+      // Dominance collapsing, fanout-free stems only: this gate's own input
+      // faults dominate its output fault of polarity v.
+      if (keep && dominance && cnt[static_cast<std::size_t>(id)] == 1 &&
+          !g.fanin.empty() && dominated(g.type, v))
+        keep = false;
       if (keep) fl.faults_.push_back({id, -1, v});
     }
   }
+  fl.full_size_ = full(nl).size();
   return fl;
 }
 

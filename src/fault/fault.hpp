@@ -1,5 +1,6 @@
 #pragma once
-// Single-stuck-at fault universe with structural equivalence collapsing.
+// Single-stuck-at fault universe with structural equivalence and dominance
+// collapsing.
 //
 // Fault sites follow the classic convention: a stem fault on every gate
 // output net, and branch faults on gate input pins whose driving net fans
@@ -7,7 +8,10 @@
 // to the driver's stem fault and is never generated). Equivalence collapsing
 // then merges controlling-value input faults into output faults (AND: in
 // s-a-0 == out s-a-0; NAND: in s-a-0 == out s-a-1; OR/NOR dually; BUF/NOT:
-// both polarities map through).
+// both polarities map through). Dominance collapsing additionally drops, on
+// fanout-free stems only, the output fault every input-pin fault dominates
+// (AND: any test for in s-a-1 also detects out s-a-1; NAND/OR/NOR dually) —
+// the dominated fault's detection is implied, so it need not be simulated.
 
 #include <cstdint>
 #include <string>
@@ -33,18 +37,28 @@ class FaultList {
   /// input, branches on multi-fanout pins. Constants are not faulted.
   static FaultList full(const gate::Netlist& nl);
 
-  /// Equivalence-collapsed list (one representative per equivalence class).
-  static FaultList collapsed(const gate::Netlist& nl);
+  /// Collapsed list: equivalence collapsing (one representative per class)
+  /// followed, when `dominance` is true (the default), by dominance
+  /// collapsing on fanout-free stems. The collapsed list records the full
+  /// universe size (full_size) so run reports can state both counts.
+  static FaultList collapsed(const gate::Netlist& nl, bool dominance = true);
 
-  /// Wraps an explicit fault vector (e.g. a filtered subset).
-  static FaultList from_faults(std::vector<Fault> faults);
+  /// Wraps an explicit fault vector (e.g. a filtered subset). `full_size`
+  /// optionally records the size of the uncollapsed universe the vector was
+  /// derived from; 0 means unknown.
+  static FaultList from_faults(std::vector<Fault> faults,
+                               std::size_t full_size = 0);
 
   std::size_t size() const { return faults_.size(); }
   const std::vector<Fault>& faults() const { return faults_; }
   const Fault& operator[](std::size_t i) const { return faults_[i]; }
 
+  /// Size of the uncollapsed universe this list represents (0 = unknown).
+  std::size_t full_size() const { return full_size_; }
+
  private:
   std::vector<Fault> faults_;
+  std::size_t full_size_ = 0;
 };
 
 }  // namespace bibs::fault

@@ -34,7 +34,6 @@ std::int64_t CoverageCurve::patterns_for_fraction(double fraction) const {
   for (auto d : detected_at)
     if (d != kUndetected) hits.push_back(d);
   if (hits.empty()) return 0;  // nothing was ever detected
-  std::sort(hits.begin(), hits.end());
   // Clamp against float round-off so fraction == 1.0 always selects the
   // last detection and tiny fractions always select at least one fault.
   const auto need = std::min<std::size_t>(
@@ -42,6 +41,11 @@ std::int64_t CoverageCurve::patterns_for_fraction(double fraction) const {
       std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::ceil(fraction * static_cast<double>(hits.size())))));
+  // Only the (need-1)-th order statistic matters; a full sort of every
+  // detection time is O(n log n) per fraction per experiment row.
+  std::nth_element(hits.begin(),
+                   hits.begin() + static_cast<std::ptrdiff_t>(need - 1),
+                   hits.end());
   return hits[need - 1] + 1;  // pattern indices are 0-based
 }
 
@@ -53,128 +57,183 @@ double CoverageCurve::coverage_after(std::int64_t patterns) const {
   return static_cast<double>(n) / static_cast<double>(detected_at.size());
 }
 
-FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults)
-    : nl_(&nl), faults_(std::move(faults)) {
+FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults,
+                               EvalBackend backend)
+    : nl_(&nl), faults_(std::move(faults)), backend_(backend), prog_(nl) {
   BIBS_ASSERT(nl.dffs().empty());  // combinational netlists only
   topo_ = nl.comb_topo_order();
   const std::size_t n = nl.net_count();
-  level_.assign(n, 0);
-  fanout_.assign(n, {});
   observed_.assign(n, 0);
-  for (NetId id : topo_) {
-    const Gate& g = nl.gate(id);
-    int lvl = 0;
-    for (NetId f : g.fanin)
-      lvl = std::max(lvl, level_[static_cast<std::size_t>(f)] + 1);
-    level_[static_cast<std::size_t>(id)] = lvl;
-    max_level_ = std::max(max_level_, lvl);
-  }
-  for (NetId id = 0; static_cast<std::size_t>(id) < n; ++id)
-    for (NetId f : nl.gate(id).fanin)
-      fanout_[static_cast<std::size_t>(f)].push_back(id);
   for (NetId o : nl.outputs()) observed_[static_cast<std::size_t>(o)] = 1;
   good_.assign(n, 0);
+  // Constant nets never change: set them once here instead of rescanning
+  // the whole netlist per block (the interpreted reference still rescans).
+  for (NetId c : prog_.const1_nets()) good_[static_cast<std::size_t>(c)] = ~0ull;
 }
 
 void FaultSimulator::good_eval(const std::uint64_t* in_words) {
   const auto& ins = nl_->inputs();
   for (std::size_t i = 0; i < ins.size(); ++i)
     good_[static_cast<std::size_t>(ins[i])] = in_words[i];
-  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id)
-    if (nl_->gate(id).type == GateType::kConst1)
-      good_[static_cast<std::size_t>(id)] = ~0ull;
-  std::uint64_t in[64];
-  for (NetId id : topo_) {
-    const Gate& g = nl_->gate(id);
-    for (std::size_t i = 0; i < g.fanin.size(); ++i)
-      in[i] = good_[static_cast<std::size_t>(g.fanin[i])];
-    good_[static_cast<std::size_t>(id)] =
-        gate::Simulator::eval_gate(g.type, in, g.fanin.size());
+  if (backend_ == EvalBackend::kInterpreted) {
+    // Retained reference path: full-net constant rescan plus the generic
+    // per-gate-vector sweep, byte-for-byte the pre-EvalProgram loop.
+    for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id)
+      if (nl_->gate(id).type == GateType::kConst1)
+        good_[static_cast<std::size_t>(id)] = ~0ull;
+    gate::reference_eval(*nl_, topo_, good_.data());
+    return;
   }
+  prog_.run(good_.data());
 }
 
 std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes,
                                         Scratch& s) const {
   const std::uint64_t lane_mask =
       valid_lanes >= 64 ? ~0ull : ((1ull << valid_lanes) - 1);
-  s.changed.clear();
   std::uint64_t detect = 0;
 
+  std::uint64_t* cur = s.cur.data();
+  const std::uint64_t* good = good_.data();
+  const char* observed = observed_.data();
+
+  // A net is written at most once per sweep (ascending topological event
+  // order evaluates every instruction after all of its producers settled),
+  // so set_net records each changed net exactly once and every recorded net
+  // still differs from good when the sweep ends.
   auto set_net = [&](NetId net, std::uint64_t v) {
-    auto& slot = s.cur[static_cast<std::size_t>(net)];
+    std::uint64_t& slot = cur[static_cast<std::size_t>(net)];
     if (slot == v) return false;
-    if (slot == good_[static_cast<std::size_t>(net)]) s.changed.push_back(net);
+    if (slot == good[static_cast<std::size_t>(net)]) s.changed.push_back(net);
     slot = v;
     return true;
   };
-  auto schedule = [&](NetId g) {
-    if (s.queued[static_cast<std::size_t>(g)]) return;
-    s.queued[static_cast<std::size_t>(g)] = 1;
-    s.buckets[static_cast<std::size_t>(level_[static_cast<std::size_t>(g)])]
-        .push_back(g);
-  };
 
   const std::uint64_t stuck_word = f.stuck ? ~0ull : 0ull;
-  int min_level = max_level_ + 1;
+  const std::uint32_t inj_instr =
+      f.pin >= 0 ? prog_.instr_of(f.net) : gate::EvalProgram::kNoInstr;
 
-  // Injection.
-  if (f.pin < 0) {
-    if (set_net(f.net, stuck_word)) {
-      for (NetId c : fanout_[static_cast<std::size_t>(f.net)]) {
-        schedule(c);
-        min_level = std::min(min_level,
-                             level_[static_cast<std::size_t>(c)]);
-      }
-      if (observed_[static_cast<std::size_t>(f.net)])
-        detect |= (stuck_word ^ good_[static_cast<std::size_t>(f.net)]) &
-                  lane_mask;
+  if (backend_ == EvalBackend::kCompiled) {
+    // Dirty-bitmask worklist: instruction indices are a topological order
+    // (consumers follow producers in the stream), so scheduling is one
+    // idempotent OR and popping is countr_zero on an ascending bit scan.
+    // Three facts keep the per-event work minimal:
+    //  - every net is written at most once per sweep (ascending topological
+    //    order), so a changed net can be recorded without comparing against
+    //    good first, and detection falls out of the changed list at the end;
+    //  - the injection instruction can never be re-marked (its fan-ins are
+    //    strictly upstream of the cone), so no per-event skip is needed;
+    //  - the current word is kept in a register and only spilled marks go
+    //    through memory, so there is no load/store chain on dirty[wi].
+    const gate::ProgramView pv = prog_.view();
+    const std::uint64_t injected =
+        f.pin < 0 ? stuck_word
+                  : pv.eval_one_forced(inj_instr, cur, f.pin, stuck_word);
+    if (cur[static_cast<std::size_t>(f.net)] == injected) return 0;
+    cur[static_cast<std::size_t>(f.net)] = injected;
+
+    NetId* chg = s.changed.data();
+    std::size_t nchg = 0;
+    chg[nchg++] = f.net;
+
+    std::uint64_t* dirty = s.dirty.data();
+    const std::size_t nwords = s.dirty.size();
+    std::size_t wlo = nwords;
+    for (const std::uint32_t* p = pv.fo + pv.fo_off[f.net],
+                            * pe = pv.fo + pv.fo_off[f.net + 1];
+         p != pe; ++p) {
+      const std::size_t w = *p >> 6;
+      dirty[w] |= 1ull << (*p & 63);
+      if (w < wlo) wlo = w;
     }
-  } else {
-    const Gate& g = nl_->gate(f.net);
-    std::uint64_t in[64];
-    for (std::size_t i = 0; i < g.fanin.size(); ++i)
-      in[i] = s.cur[static_cast<std::size_t>(g.fanin[i])];
-    in[static_cast<std::size_t>(f.pin)] = stuck_word;
-    const std::uint64_t v =
-        gate::Simulator::eval_gate(g.type, in, g.fanin.size());
-    if (set_net(f.net, v)) {
-      for (NetId c : fanout_[static_cast<std::size_t>(f.net)]) {
-        schedule(c);
-        min_level = std::min(min_level, level_[static_cast<std::size_t>(c)]);
+
+    for (std::size_t wi = wlo; wi < nwords; ++wi) {
+      std::uint64_t w = dirty[wi];
+      dirty[wi] = 0;
+      while (w != 0) {
+        const std::uint32_t ii = static_cast<std::uint32_t>(
+            (wi << 6) + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+        const std::uint64_t v = pv.eval_one(ii, cur);
+        const NetId id = pv.out[ii];
+        if (cur[static_cast<std::size_t>(id)] == v) continue;
+        cur[static_cast<std::size_t>(id)] = v;
+        chg[nchg++] = id;
+        for (const std::uint32_t* p = pv.fo + pv.fo_off[id],
+                                * pe = pv.fo + pv.fo_off[id + 1];
+             p != pe; ++p) {
+          const std::uint32_t c = *p;
+          if ((c >> 6) == wi)
+            w |= 1ull << (c & 63);
+          else
+            dirty[c >> 6] |= 1ull << (c & 63);
+        }
       }
-      if (observed_[static_cast<std::size_t>(f.net)])
-        detect |= (v ^ good_[static_cast<std::size_t>(f.net)]) & lane_mask;
     }
+
+    for (std::size_t k = 0; k < nchg; ++k) {
+      const std::size_t c = static_cast<std::size_t>(chg[k]);
+      if (observed[c]) detect |= (cur[c] ^ good[c]) & lane_mask;
+      cur[c] = good[c];
+    }
+    return detect;
   }
 
-  // Event-driven sweep in level order.
-  for (int lvl = min_level; lvl <= max_level_; ++lvl) {
+  s.changed.clear();
+  // Interpreted: the retained pre-compilation event loop — per-level
+  // buckets over the levelized netlist, fan-ins gathered through the
+  // Netlist's per-gate vectors, generic eval_gate dispatch.
+  char* queued = s.queued.data();
+  auto schedule = [&](std::uint32_t ii) {
+    if (queued[ii]) return;
+    queued[ii] = 1;
+    s.buckets[static_cast<std::size_t>(prog_.instr_level(ii))].push_back(ii);
+  };
+
+  const int max_level = prog_.max_level();
+  int min_level = max_level + 1;
+
+  const std::uint64_t injected =
+      f.pin < 0 ? stuck_word
+                : prog_.eval_one_forced(inj_instr, cur, f.pin, stuck_word);
+  if (set_net(f.net, injected)) {
+    for (const std::uint32_t* p = prog_.fanout_begin(f.net);
+         p != prog_.fanout_end(f.net); ++p) {
+      schedule(*p);
+      min_level = std::min(min_level, prog_.instr_level(*p));
+    }
+    if (observed[static_cast<std::size_t>(f.net)])
+      detect |=
+          (injected ^ good[static_cast<std::size_t>(f.net)]) & lane_mask;
+  }
+
+  for (int lvl = min_level; lvl <= max_level; ++lvl) {
     auto& bucket = s.buckets[static_cast<std::size_t>(lvl)];
     for (std::size_t qi = 0; qi < bucket.size(); ++qi) {
-      const NetId id = bucket[qi];
-      s.queued[static_cast<std::size_t>(id)] = 0;
-      // The injection site must keep its forced value.
+      const std::uint32_t ii = bucket[qi];
+      queued[ii] = 0;
+      const NetId id = prog_.out(ii);
       if (f.pin < 0 && id == f.net) continue;
       const Gate& g = nl_->gate(id);
       std::uint64_t in[64];
       for (std::size_t i = 0; i < g.fanin.size(); ++i)
-        in[i] = s.cur[static_cast<std::size_t>(g.fanin[i])];
-      if (f.pin >= 0 && id == f.net)
-        in[static_cast<std::size_t>(f.pin)] = stuck_word;
+        in[i] = cur[static_cast<std::size_t>(g.fanin[i])];
+      if (ii == inj_instr) in[static_cast<std::size_t>(f.pin)] = stuck_word;
       const std::uint64_t v =
           gate::Simulator::eval_gate(g.type, in, g.fanin.size());
       if (set_net(id, v)) {
-        for (NetId c : fanout_[static_cast<std::size_t>(id)]) schedule(c);
-        if (observed_[static_cast<std::size_t>(id)])
-          detect |= (v ^ good_[static_cast<std::size_t>(id)]) & lane_mask;
+        for (const std::uint32_t* p = prog_.fanout_begin(id);
+             p != prog_.fanout_end(id); ++p)
+          schedule(*p);
+        if (observed[static_cast<std::size_t>(id)])
+          detect |= (v ^ good[static_cast<std::size_t>(id)]) & lane_mask;
       }
     }
     bucket.clear();
   }
 
-  // Restore.
   for (NetId c : s.changed)
-    s.cur[static_cast<std::size_t>(c)] = good_[static_cast<std::size_t>(c)];
+    cur[static_cast<std::size_t>(c)] = good[static_cast<std::size_t>(c)];
   return detect;
 }
 
@@ -204,13 +263,23 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
   BIBS_HISTOGRAM(h_block_det, "fault_sim.block_detections",
                  (std::vector<double>{0, 1, 2, 4, 8, 16, 32, 64}));
 
+  BIBS_GAUGE(g_faults_sim, "fault_sim.faults_simulated");
+  BIBS_GAUGE(g_faults_full, "fault_sim.faults_full");
+  BIBS_GAUGE_SET(g_faults_sim, faults_.size());
+  BIBS_GAUGE_SET(g_faults_full, faults_.full_size() > 0 ? faults_.full_size()
+                                                        : faults_.size());
+
   par::ThreadPool pool(threads_);
   BIBS_GAUGE_SET(g_threads, pool.threads());
   std::vector<Scratch> scratch(static_cast<std::size_t>(pool.threads()));
   for (Scratch& s : scratch) {
     s.cur.assign(nl_->net_count(), 0);
-    s.queued.assign(nl_->net_count(), 0);
-    s.buckets.assign(static_cast<std::size_t>(max_level_) + 1, {});
+    // The compiled sweep writes changed nets through a raw cursor (each net
+    // changes at most once per fault, so net_count bounds the count).
+    s.changed.assign(nl_->net_count(), 0);
+    s.dirty.assign((prog_.size() + 63) / 64, 0);
+    s.queued.assign(prog_.size(), 0);
+    s.buckets.assign(static_cast<std::size_t>(prog_.max_level()) + 1, {});
   }
 
   CoverageCurve curve;
@@ -418,9 +487,7 @@ bool FaultSimulator::detects_naive(const Fault& f,
       // Output stem fault: force and repropagate downstream levels.
       val[static_cast<std::size_t>(f.net)] = f.stuck ? 1 : 0;
       for (NetId id : topo_) {
-        if (level_[static_cast<std::size_t>(id)] <=
-            level_[static_cast<std::size_t>(f.net)])
-          continue;
+        if (prog_.level(id) <= prog_.level(f.net)) continue;
         const Gate& g = nl_->gate(id);
         std::uint64_t in[64];
         for (std::size_t i = 0; i < g.fanin.size(); ++i)

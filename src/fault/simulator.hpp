@@ -26,11 +26,19 @@
 #include "common/prng.hpp"
 #include "fault/fault.hpp"
 #include "gate/netlist.hpp"
+#include "gate/program.hpp"
 #include "obs/progress.hpp"
 #include "rt/checkpoint.hpp"
 #include "rt/control.hpp"
 
 namespace bibs::fault {
+
+/// Gate-evaluation backend of the fault simulator. kCompiled runs on the
+/// flat gate::EvalProgram instruction stream (the default); kInterpreted is
+/// the retained pre-compilation hot loop — per-gate fan-in vectors, generic
+/// eval_gate switch, full-net kConst1 rescan per block — kept bit-identical
+/// so tests and bench_kernel can gate the compiled path against it.
+enum class EvalBackend { kCompiled, kInterpreted };
 
 /// Per-fault first-detection record plus helpers to answer "how many patterns
 /// to reach X% of detected faults" — the paper's rows 5-8 of Table 2.
@@ -63,7 +71,8 @@ struct CoverageCurve {
 class FaultSimulator {
  public:
   /// The netlist must be combinational (no DFFs) and validated.
-  FaultSimulator(const gate::Netlist& nl, FaultList faults);
+  FaultSimulator(const gate::Netlist& nl, FaultList faults,
+                 EvalBackend backend = EvalBackend::kCompiled);
 
   const gate::Netlist& netlist() const { return *nl_; }
   const FaultList& faults() const { return faults_; }
@@ -138,8 +147,14 @@ class FaultSimulator {
   struct Scratch {
     std::vector<std::uint64_t> cur;
     std::vector<gate::NetId> changed;
-    std::vector<char> queued;
-    std::vector<std::vector<gate::NetId>> buckets;  // per level
+    // Compiled backend: one dirty bit per instruction. Consumer instruction
+    // indices always exceed producer indices (the stream is in topo order),
+    // so an ascending bit scan IS a topological event order — no levels, no
+    // queues. All bits are zero again when propagate() returns.
+    std::vector<std::uint64_t> dirty;
+    // Interpreted backend: the retained per-level bucket scheduler.
+    std::vector<char> queued;  // per instruction
+    std::vector<std::vector<std::uint32_t>> buckets;  // instr idx, per level
   };
 
   void good_eval(const std::uint64_t* in_words);
@@ -147,16 +162,17 @@ class FaultSimulator {
 
   const gate::Netlist* nl_;
   FaultList faults_;
+  EvalBackend backend_;
   obs::ProgressFn progress_;
   std::int64_t progress_every_ = 8192;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
 
-  // Levelized structure.
+  // Compiled instruction stream; also the single source of levels and
+  // fanout (flat CSR) for the event-driven propagation, whatever the
+  // backend. topo_ is retained for the interpreted sweeps.
+  gate::EvalProgram prog_;
   std::vector<gate::NetId> topo_;
-  std::vector<int> level_;                         // per net
-  std::vector<std::vector<gate::NetId>> fanout_;   // per net: consumer gates
-  std::vector<char> observed_;                     // per net: is a PO
-  int max_level_ = 0;
+  std::vector<char> observed_;  // per net: is a PO
 
   // Good-circuit values of the current block (shared, read-only during the
   // parallel fault loop).

@@ -1,0 +1,129 @@
+#include "gate/program.hpp"
+
+#include <algorithm>
+
+#include "gate/sim.hpp"
+
+namespace bibs::gate {
+
+namespace {
+
+Op fuse(GateType t, std::size_t n) {
+  switch (t) {
+    case GateType::kBuf: return Op::kBuf;
+    case GateType::kNot: return Op::kNot;
+    case GateType::kAnd: return n == 2 ? Op::kAnd2 : Op::kAndN;
+    case GateType::kNand: return n == 2 ? Op::kNand2 : Op::kNandN;
+    case GateType::kOr: return n == 2 ? Op::kOr2 : Op::kOrN;
+    case GateType::kNor: return n == 2 ? Op::kNor2 : Op::kNorN;
+    case GateType::kXor: return n == 2 ? Op::kXor2 : Op::kXorN;
+    case GateType::kXnor: return n == 2 ? Op::kXnor2 : Op::kXnorN;
+    default:
+      BIBS_ASSERT(false && "non-combinational gate in the instruction stream");
+      return Op::kBuf;
+  }
+}
+
+}  // namespace
+
+EvalProgram::EvalProgram(const Netlist& nl) : nl_(&nl) {
+  const std::size_t nets = nl.net_count();
+  const std::vector<NetId> topo = nl.comb_topo_order();
+
+  op_.reserve(topo.size());
+  out_.reserve(topo.size());
+  off_.reserve(topo.size() + 1);
+  off_.push_back(0);
+  instr_of_.assign(nets, kNoInstr);
+  level_.assign(nets, 0);
+
+  for (NetId id : topo) {
+    const Gate& g = nl.gate(id);
+    instr_of_[static_cast<std::size_t>(id)] =
+        static_cast<std::uint32_t>(op_.size());
+    op_.push_back(fuse(g.type, g.fanin.size()));
+    out_.push_back(id);
+    int lvl = 0;
+    for (NetId f : g.fanin) {
+      fanin_.push_back(f);
+      lvl = std::max(lvl, level_[static_cast<std::size_t>(f)] + 1);
+    }
+    off_.push_back(static_cast<std::uint32_t>(fanin_.size()));
+    level_[static_cast<std::size_t>(id)] = lvl;
+    ilevel_.push_back(lvl);
+    max_level_ = std::max(max_level_, lvl);
+  }
+
+  // Fanout CSR (counting sort over the packed fan-in buffer).
+  fo_off_.assign(nets + 1, 0);
+  for (NetId f : fanin_) ++fo_off_[static_cast<std::size_t>(f) + 1];
+  for (std::size_t i = 1; i <= nets; ++i) fo_off_[i] += fo_off_[i - 1];
+  fo_.resize(fanin_.size());
+  std::vector<std::uint32_t> cursor(fo_off_.begin(), fo_off_.end() - 1);
+  for (std::size_t i = 0; i < op_.size(); ++i)
+    for (std::uint32_t k = off_[i]; k < off_[i + 1]; ++k)
+      fo_[cursor[static_cast<std::size_t>(fanin_[k])]++] =
+          static_cast<std::uint32_t>(i);
+
+  for (NetId id = 0; static_cast<std::size_t>(id) < nets; ++id)
+    if (nl.gate(id).type == GateType::kConst1) const1_.push_back(id);
+}
+
+void EvalProgram::run_range(std::size_t begin, std::size_t end,
+                            std::uint64_t* v) const {
+  const Op* ops = op_.data();
+  const NetId* outs = out_.data();
+  const std::uint32_t* off = off_.data();
+  const NetId* fan = fanin_.data();
+  for (std::size_t i = begin; i < end; ++i) {
+    const NetId* fi = fan + off[i];
+    std::uint64_t r;
+    switch (ops[i]) {
+      case Op::kBuf: r = v[fi[0]]; break;
+      case Op::kNot: r = ~v[fi[0]]; break;
+      case Op::kAnd2: r = v[fi[0]] & v[fi[1]]; break;
+      case Op::kNand2: r = ~(v[fi[0]] & v[fi[1]]); break;
+      case Op::kOr2: r = v[fi[0]] | v[fi[1]]; break;
+      case Op::kNor2: r = ~(v[fi[0]] | v[fi[1]]); break;
+      case Op::kXor2: r = v[fi[0]] ^ v[fi[1]]; break;
+      case Op::kXnor2: r = ~(v[fi[0]] ^ v[fi[1]]); break;
+      default: {
+        const std::uint32_t n = off[i + 1] - off[i];
+        r = v[fi[0]];
+        switch (ops[i]) {
+          case Op::kAndN:
+          case Op::kNandN:
+            for (std::uint32_t k = 1; k < n; ++k) r &= v[fi[k]];
+            if (ops[i] == Op::kNandN) r = ~r;
+            break;
+          case Op::kOrN:
+          case Op::kNorN:
+            for (std::uint32_t k = 1; k < n; ++k) r |= v[fi[k]];
+            if (ops[i] == Op::kNorN) r = ~r;
+            break;
+          default:  // kXorN / kXnorN
+            for (std::uint32_t k = 1; k < n; ++k) r ^= v[fi[k]];
+            if (ops[i] == Op::kXnorN) r = ~r;
+            break;
+        }
+        break;
+      }
+    }
+    v[outs[i]] = r;
+  }
+}
+
+void reference_eval(const Netlist& nl, const std::vector<NetId>& topo,
+                    std::uint64_t* values) {
+  std::uint64_t in[64];
+  for (NetId id : topo) {
+    const Gate& g = nl.gate(id);
+    const std::size_t n = g.fanin.size();
+    BIBS_ASSERT(n <= 64);
+    for (std::size_t i = 0; i < n; ++i)
+      in[i] = values[static_cast<std::size_t>(g.fanin[i])];
+    values[static_cast<std::size_t>(id)] = Simulator::eval_gate(g.type, in, n);
+  }
+}
+
+}  // namespace bibs::gate

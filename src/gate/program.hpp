@@ -1,0 +1,237 @@
+#pragma once
+// Compiled gate-evaluation kernel: a one-time compilation of a Netlist into a
+// flat, levelized struct-of-arrays instruction stream.
+//
+// The interpreted simulators walk the topo order indirecting through each
+// gate's std::vector<NetId> fan-ins — one pointer chase and one heap object
+// per gate per sweep. EvalProgram flattens that into three contiguous
+// arrays (opcodes, fan-in offsets, one packed fan-in index buffer) built in
+// topological order, with fused opcodes for the dominant gate shapes
+// (NOT/BUF, 2-input AND/OR/XOR and their inversions) so the generic
+// reduce-then-invert loop survives only as the wide-gate fallback.
+//
+// The program also precomputes the structural facts its consumers used to
+// recompute per instance or per call: per-net levels, a fanout CSR mapping
+// every net to its consumer *instructions*, the list of kConst1 nets (the
+// fault simulator used to rescan every net per block to find them), and a
+// net -> instruction index map for fault injection.
+//
+// Bit-identity contract: run()/eval_one() compute exactly the boolean
+// functions of gate::Simulator::eval_gate, so every consumer produces
+// bit-identical words to the interpreted path. reference_eval() below *is*
+// that interpreted path, retained as the golden baseline for tests and for
+// the interpreted side of bench_kernel.
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace bibs::gate {
+
+/// Fused opcode of one instruction. The 2-input forms and BUF/NOT are
+/// straight-line (no inner loop); the *N forms reduce over the fan-in span.
+enum class Op : std::uint8_t {
+  kBuf,
+  kNot,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAndN,
+  kNandN,
+  kOrN,
+  kNorN,
+  kXorN,
+  kXnorN,
+};
+
+/// Borrowed raw-pointer view of an EvalProgram's arrays (valid while the
+/// program lives). The event-driven fault propagation writes through
+/// char-typed scratch (the queued flags), which legally aliases everything —
+/// so any pointer fetched through the program object must be re-loaded on
+/// every event. Copying the array pointers into a by-value View once per
+/// sweep keeps them in registers for the whole level walk.
+struct ProgramView {
+  const Op* op;
+  const NetId* out;
+  const std::uint32_t* off;  // size+1 offsets into fanin
+  const NetId* fanin;
+  const int* ilevel;            // level of instruction i's output net
+  const std::uint32_t* fo_off;  // per net + 1, offsets into fo
+  const std::uint32_t* fo;      // consumer instruction indices
+
+  std::uint64_t eval_one(std::size_t i, const std::uint64_t* v) const;
+  std::uint64_t eval_one_forced(std::size_t i, const std::uint64_t* v,
+                                int pin, std::uint64_t forced) const;
+};
+
+class EvalProgram {
+ public:
+  static constexpr std::uint32_t kNoInstr = 0xffffffffu;
+
+  /// Compiles the combinational part of `nl`. The netlist must outlive the
+  /// program (it is referenced, not copied).
+  explicit EvalProgram(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Number of instructions == number of combinational gates.
+  std::size_t size() const { return op_.size(); }
+  Op op(std::size_t i) const { return op_[i]; }
+  /// Output net of instruction i (instructions are in topo order).
+  NetId out(std::size_t i) const { return out_[i]; }
+  std::uint32_t fanin_count(std::size_t i) const {
+    return off_[i + 1] - off_[i];
+  }
+  const NetId* fanin(std::size_t i) const { return fanin_.data() + off_[i]; }
+
+  /// Evaluates every instruction into `values` (indexed by NetId). Source
+  /// nets (inputs, constants, DFF outputs) must already be set.
+  void run(std::uint64_t* values) const { run_range(0, op_.size(), values); }
+  /// Evaluates instructions [begin, end) only — the straight-line segments
+  /// between faulty gates in sim::LaneEngine.
+  void run_range(std::size_t begin, std::size_t end,
+                 std::uint64_t* values) const;
+
+  /// Evaluates one instruction without writing its output net. Defined
+  /// inline below: the event-driven fault propagation calls this once per
+  /// event, so it must inline into the caller's loop.
+  std::uint64_t eval_one(std::size_t i, const std::uint64_t* values) const;
+  /// Same, with fan-in pin `pin` forced to `forced` (stuck-at injection).
+  std::uint64_t eval_one_forced(std::size_t i, const std::uint64_t* values,
+                                int pin, std::uint64_t forced) const;
+
+  /// Topological level per net: sources are 0, a gate is
+  /// max(fanin levels) + 1. Identical to what FaultSimulator levelized.
+  int level(NetId net) const { return level_[static_cast<std::size_t>(net)]; }
+  /// Level of instruction i's output net, one load (no out() indirection).
+  int instr_level(std::size_t i) const { return ilevel_[i]; }
+  int max_level() const { return max_level_; }
+
+  /// Instruction index computing `net`, or kNoInstr for source nets.
+  std::uint32_t instr_of(NetId net) const {
+    return instr_of_[static_cast<std::size_t>(net)];
+  }
+
+  /// Fanout CSR: consumer instruction indices of `net` (combinational
+  /// consumers only — DFF D pins are not instructions).
+  const std::uint32_t* fanout_begin(NetId net) const {
+    return fo_.data() + fo_off_[static_cast<std::size_t>(net)];
+  }
+  const std::uint32_t* fanout_end(NetId net) const {
+    return fo_.data() + fo_off_[static_cast<std::size_t>(net) + 1];
+  }
+
+  /// All kConst1 nets — set them to ~0 once instead of rescanning the
+  /// whole netlist per pattern block.
+  const std::vector<NetId>& const1_nets() const { return const1_; }
+
+  /// Raw-pointer view for hot loops; see ProgramView.
+  ProgramView view() const {
+    return ProgramView{op_.data(),     out_.data(),    off_.data(),
+                       fanin_.data(),  ilevel_.data(), fo_off_.data(),
+                       fo_.data()};
+  }
+
+ private:
+  const Netlist* nl_;
+  std::vector<Op> op_;
+  std::vector<NetId> out_;
+  std::vector<std::uint32_t> off_;  // size()+1 offsets into fanin_
+  std::vector<NetId> fanin_;        // packed fan-in index buffer
+  std::vector<std::uint32_t> instr_of_;  // per net
+  std::vector<int> level_;               // per net
+  std::vector<int> ilevel_;              // per instruction
+  int max_level_ = 0;
+  std::vector<std::uint32_t> fo_off_;  // per net + 1, offsets into fo_
+  std::vector<std::uint32_t> fo_;      // consumer instruction indices
+  std::vector<NetId> const1_;
+};
+
+inline std::uint64_t ProgramView::eval_one(std::size_t i,
+                                           const std::uint64_t* v) const {
+  const NetId* fi = fanin + off[i];
+  switch (op[i]) {
+    case Op::kBuf: return v[fi[0]];
+    case Op::kNot: return ~v[fi[0]];
+    case Op::kAnd2: return v[fi[0]] & v[fi[1]];
+    case Op::kNand2: return ~(v[fi[0]] & v[fi[1]]);
+    case Op::kOr2: return v[fi[0]] | v[fi[1]];
+    case Op::kNor2: return ~(v[fi[0]] | v[fi[1]]);
+    case Op::kXor2: return v[fi[0]] ^ v[fi[1]];
+    case Op::kXnor2: return ~(v[fi[0]] ^ v[fi[1]]);
+    default: break;
+  }
+  const std::uint32_t n = off[i + 1] - off[i];
+  std::uint64_t r = v[fi[0]];
+  switch (op[i]) {
+    case Op::kAndN:
+    case Op::kNandN:
+      for (std::uint32_t k = 1; k < n; ++k) r &= v[fi[k]];
+      return op[i] == Op::kNandN ? ~r : r;
+    case Op::kOrN:
+    case Op::kNorN:
+      for (std::uint32_t k = 1; k < n; ++k) r |= v[fi[k]];
+      return op[i] == Op::kNorN ? ~r : r;
+    default:
+      for (std::uint32_t k = 1; k < n; ++k) r ^= v[fi[k]];
+      return op[i] == Op::kXnorN ? ~r : r;
+  }
+}
+
+inline std::uint64_t ProgramView::eval_one_forced(std::size_t i,
+                                                  const std::uint64_t* v,
+                                                  int pin,
+                                                  std::uint64_t forced) const {
+  const NetId* fi = fanin + off[i];
+  const std::uint32_t n = off[i + 1] - off[i];
+  const std::uint32_t p = static_cast<std::uint32_t>(pin);
+  const auto in = [&](std::uint32_t k) {
+    return k == p ? forced : v[fi[k]];
+  };
+  std::uint64_t r = in(0);
+  switch (op[i]) {
+    case Op::kBuf: return r;
+    case Op::kNot: return ~r;
+    case Op::kAnd2:
+    case Op::kNand2:
+    case Op::kAndN:
+    case Op::kNandN:
+      for (std::uint32_t k = 1; k < n; ++k) r &= in(k);
+      return op[i] == Op::kNand2 || op[i] == Op::kNandN ? ~r : r;
+    case Op::kOr2:
+    case Op::kNor2:
+    case Op::kOrN:
+    case Op::kNorN:
+      for (std::uint32_t k = 1; k < n; ++k) r |= in(k);
+      return op[i] == Op::kNor2 || op[i] == Op::kNorN ? ~r : r;
+    default:
+      for (std::uint32_t k = 1; k < n; ++k) r ^= in(k);
+      return op[i] == Op::kXnor2 || op[i] == Op::kXnorN ? ~r : r;
+  }
+}
+
+inline std::uint64_t EvalProgram::eval_one(std::size_t i,
+                                           const std::uint64_t* v) const {
+  return view().eval_one(i, v);
+}
+
+inline std::uint64_t EvalProgram::eval_one_forced(std::size_t i,
+                                                  const std::uint64_t* v,
+                                                  int pin,
+                                                  std::uint64_t forced) const {
+  return view().eval_one_forced(i, v, pin, forced);
+}
+
+/// The retained interpreted reference: one levelized sweep via the generic
+/// gate::Simulator::eval_gate switch, reading fan-ins through the Netlist's
+/// per-gate vectors (the pre-EvalProgram hot loop, verbatim). `topo` must be
+/// nl.comb_topo_order(). Tests assert EvalProgram::run matches this
+/// bit-for-bit; bench_kernel measures the speedup against it.
+void reference_eval(const Netlist& nl, const std::vector<NetId>& topo,
+                    std::uint64_t* values);
+
+}  // namespace bibs::gate

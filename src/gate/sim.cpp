@@ -6,12 +6,11 @@ namespace bibs::gate {
 
 Simulator::Simulator(const Netlist& nl)
     : nl_(&nl),
-      topo_(nl.comb_topo_order()),
+      prog_(nl),
       values_(nl.net_count(), 0),
       state_(nl.net_count(), 0) {
-  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
-    if (nl.gate(id).type == GateType::kConst1)
-      values_[static_cast<std::size_t>(id)] = ~0ull;
+  for (NetId c : prog_.const1_nets())
+    values_[static_cast<std::size_t>(c)] = ~0ull;
 }
 
 void Simulator::set_input(NetId net, std::uint64_t word) {
@@ -57,15 +56,7 @@ void Simulator::eval() {
   // DFF outputs present their state.
   for (NetId d : nl_->dffs())
     values_[static_cast<std::size_t>(d)] = state_[static_cast<std::size_t>(d)];
-  std::uint64_t in[64];
-  for (NetId id : topo_) {
-    const Gate& g = nl_->gate(id);
-    const std::size_t n = g.fanin.size();
-    BIBS_ASSERT(n <= 64);
-    for (std::size_t i = 0; i < n; ++i)
-      in[i] = values_[static_cast<std::size_t>(g.fanin[i])];
-    values_[static_cast<std::size_t>(id)] = eval_gate(g.type, in, n);
-  }
+  prog_.run(values_.data());
 }
 
 void Simulator::clock() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gate/netlist.hpp"
+#include "gate/program.hpp"
 
 namespace bibs::gate {
 
@@ -17,6 +18,7 @@ class Simulator {
   explicit Simulator(const Netlist& nl);
 
   const Netlist& netlist() const { return *nl_; }
+  const EvalProgram& program() const { return prog_; }
 
   /// Sets the pattern word on a primary input net.
   void set_input(NetId net, std::uint64_t word);
@@ -42,14 +44,16 @@ class Simulator {
   /// Reads the bus value in one lane.
   std::uint64_t bus_value(const std::vector<NetId>& bus, int lane) const;
 
-  /// Single gate evaluation given fan-in words; exposed for the fault
-  /// simulator's event-driven propagation.
+  /// Single gate evaluation given fan-in words. The generic interpreted
+  /// switch: the retained reference the compiled EvalProgram is checked
+  /// against (see gate::reference_eval), and the naive-resimulation
+  /// primitive of the fault simulator's cross-checks.
   static std::uint64_t eval_gate(GateType t, const std::uint64_t* in,
                                  std::size_t n);
 
  private:
   const Netlist* nl_;
-  std::vector<NetId> topo_;
+  EvalProgram prog_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> state_;  // per net; meaningful for DFFs only
 };

@@ -15,6 +15,12 @@ using gate::NetId;
 CstpSession::CstpSession(const gate::Netlist& nl) : nl_(&nl) {
   ring_ = nl.dffs();
   BIBS_ASSERT(!ring_.empty());
+  ring_d_.reserve(ring_.size());
+  for (NetId ff : ring_) {
+    const gate::Gate& g = nl.gate(ff);
+    BIBS_ASSERT(g.fanin.size() == 1);
+    ring_d_.push_back(g.fanin[0]);
+  }
 }
 
 void CstpSession::set_threads(int threads) {
@@ -72,8 +78,7 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
       for (std::size_t i = 0; i < ring_.size(); ++i)
         prev[i] = eng.state(ring_[i]);
       for (std::size_t i = 0; i < ring_.size(); ++i) {
-        const gate::Gate& g = nl_->gate(ring_[i]);
-        const std::uint64_t d = eng.value(g.fanin[0]);
+        const std::uint64_t d = eng.value(ring_d_[i]);
         const std::uint64_t from_ring =
             prev[(i + ring_.size() - 1) % ring_.size()];
         eng.clock_override(ring_[i], d ^ from_ring);
@@ -141,6 +146,7 @@ std::int64_t CstpSession::cycles_to_cover(
 
   BitVec seen(std::size_t{1} << watch.size());
   std::uint64_t covered = 0;
+  std::vector<std::uint64_t> prev(ring_.size());
   for (std::int64_t t = 0; t < max_cycles; ++t) {
     if ((t & 63) == 0 &&
         ctl.interruption(t) != rt::RunStatus::kFinished)
@@ -153,15 +159,12 @@ std::int64_t CstpSession::cycles_to_cover(
       if (++covered >= target) return t;
     }
     eng.eval();
-    std::vector<std::uint64_t> prev(ring_.size());
     for (std::size_t i = 0; i < ring_.size(); ++i)
       prev[i] = eng.state(ring_[i]);
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      const gate::Gate& g = nl_->gate(ring_[i]);
+    for (std::size_t i = 0; i < ring_.size(); ++i)
       eng.clock_override(ring_[i],
-                         eng.value(g.fanin[0]) ^
+                         eng.value(ring_d_[i]) ^
                              prev[(i + ring_.size() - 1) % ring_.size()]);
-    }
   }
   return -1;
 }

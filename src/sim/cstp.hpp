@@ -60,6 +60,12 @@ class CstpSession {
  private:
   const gate::Netlist* nl_;
   std::vector<gate::NetId> ring_;
+  /// Functional D net of ring_[i], precomputed once. Only the ring's
+  /// *structure* is cacheable: unlike the BIBS TPG (whose LFSR stream is
+  /// fault-independent and shared across batches), the ring's bit stream
+  /// feeds back through the faulted logic, so it differs per fault lane and
+  /// must be recomputed every cycle.
+  std::vector<gate::NetId> ring_d_;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
 };
 

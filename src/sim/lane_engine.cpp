@@ -1,5 +1,8 @@
 #include "sim/lane_engine.hpp"
 
+#include <algorithm>
+#include <map>
+
 #include "obs/obs.hpp"
 
 namespace bibs::sim {
@@ -11,12 +14,13 @@ using gate::NetId;
 LaneEngine::LaneEngine(const gate::Netlist& nl,
                        std::span<const fault::Fault> batch)
     : nl_(&nl),
-      topo_(nl.comb_topo_order()),
+      prog_(nl),
       val_(nl.net_count(), 0),
       state_(nl.net_count(), 0),
       stem0_(nl.net_count(), 0),
       stem1_(nl.net_count(), 0) {
   BIBS_ASSERT(batch.size() <= 63);
+  std::map<std::uint32_t, std::vector<PinFault>> by_instr;
   for (std::size_t k = 0; k < batch.size(); ++k) {
     const fault::Fault& f = batch[k];
     if (f.net < 0 || static_cast<std::size_t>(f.net) >= nl.net_count())
@@ -27,10 +31,45 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
       throw DesignError("fault pin " + std::to_string(f.pin) +
                         " is out of range on net " + std::to_string(f.net));
     const std::uint64_t mask = 1ull << (k + 1);
-    if (f.pin < 0)
+    if (f.pin < 0) {
       (f.stuck ? stem1_ : stem0_)[static_cast<std::size_t>(f.net)] |= mask;
-    else
-      pin_faults_[f.net].push_back({f.pin, mask, f.stuck});
+    } else if (nl.gate(f.net).type == GateType::kDff) {
+      dff_pin_faults_[f.net].push_back({f.pin, mask, f.stuck});
+    } else {
+      by_instr[prog_.instr_of(f.net)].push_back({f.pin, mask, f.stuck});
+    }
+  }
+
+  // Compile the fault sites into the ascending special-instruction list:
+  // every instruction with a stem or pin fault leaves the straight-line
+  // path; everything else runs through EvalProgram::run_range untouched.
+  for (std::size_t i = 0; i < prog_.size(); ++i) {
+    const NetId out = prog_.out(i);
+    const bool has_stem = (stem0_[static_cast<std::size_t>(out)] |
+                           stem1_[static_cast<std::size_t>(out)]) != 0;
+    const auto it = by_instr.find(static_cast<std::uint32_t>(i));
+    if (!has_stem && it == by_instr.end()) continue;
+    Special sp;
+    sp.instr = static_cast<std::uint32_t>(i);
+    sp.pf_begin = static_cast<std::uint32_t>(pin_faults_.size());
+    if (it != by_instr.end())
+      pin_faults_.insert(pin_faults_.end(), it->second.begin(),
+                         it->second.end());
+    sp.pf_end = static_cast<std::uint32_t>(pin_faults_.size());
+    special_.push_back(sp);
+  }
+
+  // Source nets are written by nobody during eval(), so their (possibly
+  // stem-faulted) values are fixed once here. DFF outputs are refreshed
+  // every eval() from state_.
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kConst1)
+      val_[static_cast<std::size_t>(id)] = apply_stem(id, ~0ull);
+    else if (g.type == GateType::kConst0 || g.type == GateType::kInput)
+      val_[static_cast<std::size_t>(id)] = apply_stem(id, 0ull);
+    else if (g.type == GateType::kDff)
+      dff_d_.emplace_back(id, g.fanin.empty() ? gate::kNoNet : g.fanin[0]);
   }
 }
 
@@ -41,42 +80,31 @@ void LaneEngine::set_dff_state(NetId dff, std::uint64_t word) {
 void LaneEngine::eval() {
   BIBS_COUNTER(c_evals, "lane_engine.evals");
   BIBS_COUNTER_ADD(c_evals, 1);
-  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id) {
-    const Gate& g = nl_->gate(id);
-    if (g.type == GateType::kDff)
-      val_[static_cast<std::size_t>(id)] =
-          apply_stem(id, state_[static_cast<std::size_t>(id)]);
-    else if (g.type == GateType::kConst1)
-      val_[static_cast<std::size_t>(id)] = apply_stem(id, ~0ull);
-    else if (g.type == GateType::kConst0 || g.type == GateType::kInput)
-      val_[static_cast<std::size_t>(id)] =
-          apply_stem(id, g.type == GateType::kInput
-                             ? val_[static_cast<std::size_t>(id)]
-                             : 0ull);
-  }
-  std::uint64_t in[64];
-  for (NetId id : topo_) {
-    const Gate& g = nl_->gate(id);
-    for (std::size_t i = 0; i < g.fanin.size(); ++i)
-      in[i] = val_[static_cast<std::size_t>(g.fanin[i])];
-    std::uint64_t out = gate::Simulator::eval_gate(g.type, in, g.fanin.size());
-    if (auto it = pin_faults_.find(id); it != pin_faults_.end()) {
-      for (const PinFault& pf : it->second) {
-        const std::uint64_t save = in[static_cast<std::size_t>(pf.pin)];
-        in[static_cast<std::size_t>(pf.pin)] = pf.stuck ? ~0ull : 0ull;
-        const std::uint64_t forced =
-            gate::Simulator::eval_gate(g.type, in, g.fanin.size());
-        in[static_cast<std::size_t>(pf.pin)] = save;
-        out = (out & ~pf.mask) | (forced & pf.mask);
-      }
+  for (const auto& [d, dnet] : dff_d_)
+    val_[static_cast<std::size_t>(d)] =
+        apply_stem(d, state_[static_cast<std::size_t>(d)]);
+
+  std::uint64_t* v = val_.data();
+  std::size_t pos = 0;
+  for (const Special& sp : special_) {
+    prog_.run_range(pos, sp.instr, v);
+    std::uint64_t out = prog_.eval_one(sp.instr, v);
+    for (std::uint32_t p = sp.pf_begin; p < sp.pf_end; ++p) {
+      const PinFault& pf = pin_faults_[p];
+      const std::uint64_t forced = prog_.eval_one_forced(
+          sp.instr, v, pf.pin, pf.stuck ? ~0ull : 0ull);
+      out = (out & ~pf.mask) | (forced & pf.mask);
     }
-    val_[static_cast<std::size_t>(id)] = apply_stem(id, out);
+    const NetId id = prog_.out(sp.instr);
+    v[static_cast<std::size_t>(id)] = apply_stem(id, out);
+    pos = sp.instr + 1;
   }
+  prog_.run_range(pos, prog_.size(), v);
 }
 
 std::uint64_t LaneEngine::next_with_pin_faults(NetId dff,
                                                std::uint64_t next) const {
-  if (auto it = pin_faults_.find(dff); it != pin_faults_.end())
+  if (auto it = dff_pin_faults_.find(dff); it != dff_pin_faults_.end())
     for (const PinFault& pf : it->second)
       next = pf.stuck ? (next | pf.mask) : (next & ~pf.mask);
   return next;
@@ -85,11 +113,18 @@ std::uint64_t LaneEngine::next_with_pin_faults(NetId dff,
 void LaneEngine::clock() {
   BIBS_COUNTER(c_clocks, "lane_engine.clocks");
   BIBS_COUNTER_ADD(c_clocks, 1);
-  for (NetId d : nl_->dffs()) {
-    const Gate& g = nl_->gate(d);
-    BIBS_ASSERT(g.fanin.size() == 1);
-    state_[static_cast<std::size_t>(d)] = next_with_pin_faults(
-        d, val_[static_cast<std::size_t>(g.fanin[0])]);
+  if (dff_pin_faults_.empty()) {
+    for (const auto& [d, dnet] : dff_d_) {
+      BIBS_ASSERT(dnet != gate::kNoNet);
+      state_[static_cast<std::size_t>(d)] =
+          val_[static_cast<std::size_t>(dnet)];
+    }
+    return;
+  }
+  for (const auto& [d, dnet] : dff_d_) {
+    BIBS_ASSERT(dnet != gate::kNoNet);
+    state_[static_cast<std::size_t>(d)] =
+        next_with_pin_faults(d, val_[static_cast<std::size_t>(dnet)]);
   }
 }
 

@@ -2,6 +2,13 @@
 // Parallel-fault gate-level machine shared by the BIST session emulator and
 // the CSTP baseline: lane 0 of every 64-bit word carries the fault-free
 // machine, lanes 1..63 carry machines with one injected stuck-at fault each.
+//
+// Evaluation runs on the compiled gate::EvalProgram instruction stream. The
+// batch's fault sites are compiled into per-gate tags at construction: the
+// (at most 63) instructions carrying a stem or pin fault become "special"
+// entries, and eval() executes the straight-line fused program between them
+// — fault-free gates never test for faults, never touch a hash map, and
+// never re-apply identity stem masks.
 
 #include <span>
 #include <unordered_map>
@@ -9,6 +16,7 @@
 
 #include "fault/fault.hpp"
 #include "gate/netlist.hpp"
+#include "gate/program.hpp"
 #include "gate/sim.hpp"
 
 namespace bibs::sim {
@@ -44,6 +52,13 @@ class LaneEngine {
     std::uint64_t mask;
     bool stuck;
   };
+  /// One instruction carrying at least one fault: its pin faults live in
+  /// pin_faults_[pf_begin, pf_end); stem masks are read from stem0_/stem1_.
+  struct Special {
+    std::uint32_t instr;
+    std::uint32_t pf_begin;
+    std::uint32_t pf_end;
+  };
 
   std::uint64_t apply_stem(gate::NetId id, std::uint64_t v) const {
     return (v | stem1_[static_cast<std::size_t>(id)]) &
@@ -53,12 +68,17 @@ class LaneEngine {
                                      std::uint64_t next) const;
 
   const gate::Netlist* nl_;
-  std::vector<gate::NetId> topo_;
+  gate::EvalProgram prog_;
   std::vector<std::uint64_t> val_;
   std::vector<std::uint64_t> state_;
   std::vector<std::uint64_t> stem0_;
   std::vector<std::uint64_t> stem1_;
-  std::unordered_map<gate::NetId, std::vector<PinFault>> pin_faults_;
+  std::vector<Special> special_;        // faulted instructions, ascending
+  std::vector<PinFault> pin_faults_;    // grouped per special_ entry
+  /// Pin faults on DFF D inputs (applied at clock time, not by eval).
+  std::unordered_map<gate::NetId, std::vector<PinFault>> dff_pin_faults_;
+  /// (dff net, D net) pairs — clock() without per-cycle Gate indirection.
+  std::vector<std::pair<gate::NetId, gate::NetId>> dff_d_;
 };
 
 }  // namespace bibs::sim

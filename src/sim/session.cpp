@@ -145,6 +145,31 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   for (const auto& labels : tpg_.cell_label)
     for (int l : labels) max_shift = std::max(max_shift, l - tpg_.min_label);
 
+  // The TPG stimulus is fault-independent, so the whole stage-1 bit stream
+  // is generated once and shared read-only by every 63-fault batch (they
+  // used to regenerate it with a private LFSR + sliding deque each).
+  // bits[j] is the generator's stage-1 value after j+1 steps; the cell with
+  // shift s reads bits[max_shift + t - s] at cycle t.
+  std::vector<char> stim_bits(static_cast<std::size_t>(cycles) +
+                              static_cast<std::size_t>(max_shift));
+  {
+    lfsr::Type1Lfsr gen(tpg_.poly);
+    for (char& b : stim_bits) {
+      gen.step();
+      b = gen.stage(1) ? 1 : 0;
+    }
+  }
+  struct Stim {
+    NetId dff;
+    int shift;
+  };
+  std::vector<Stim> stim;
+  for (std::size_t ri = 0; ri < input_q_.size(); ++ri) {
+    const auto& labels = tpg_.cell_label[ri];
+    for (std::size_t j = 0; j < input_q_[ri].size(); ++j)
+      stim.push_back({input_q_[ri][j], labels[j] - tpg_.min_label});
+  }
+
   par::ThreadPool pool(threads_);
   BIBS_GAUGE(g_threads, "par.threads");
   BIBS_GAUGE_SET(g_threads, pool.threads());
@@ -184,14 +209,6 @@ SessionReport BistSession::run(const fault::FaultList& faults,
       misr.emplace_back(batch + 1, lfsr::Misr(lfsr::primitive_polynomial(
                                        static_cast<int>(b.size()))));
 
-    // TPG bit history: hist[k] = a(t - k).
-    lfsr::Type1Lfsr gen(tpg_.poly);
-    std::deque<bool> hist;
-    for (int i = 0; i <= max_shift; ++i) {
-      gen.step();
-      hist.push_front(gen.stage(1));
-    }
-
     std::uint64_t out_diff_seen = 0;
     for (std::int64_t t = 0; t < cycles; ++t) {
       // Poll run control at 64-cycle granularity; an interrupted batch is
@@ -204,15 +221,12 @@ SessionReport BistSession::run(const fault::FaultList& faults,
           return;
         }
       }
-      for (std::size_t ri = 0; ri < input_q_.size(); ++ri) {
-        const auto& labels = tpg_.cell_label[ri];
-        for (std::size_t j = 0; j < input_q_[ri].size(); ++j) {
-          const int shift = labels[j] - tpg_.min_label;
-          eng.set_dff_state(input_q_[ri][j],
-                            hist[static_cast<std::size_t>(shift)] ? ~0ull
-                                                                  : 0ull);
-        }
-      }
+      for (const Stim& st : stim)
+        eng.set_dff_state(
+            st.dff, stim_bits[static_cast<std::size_t>(max_shift + t -
+                                                       st.shift)]
+                        ? ~0ull
+                        : 0ull);
       eng.eval();
 
       for (std::size_t oi = 0; oi < output_d_.size(); ++oi) {
@@ -230,9 +244,6 @@ SessionReport BistSession::run(const fault::FaultList& faults,
       }
 
       eng.clock();
-      gen.step();
-      hist.push_front(gen.stage(1));
-      hist.pop_back();
 
       const std::int64_t done =
           work_done.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -161,8 +161,9 @@ TEST(Podem, ScalesToTheDatapathKernel) {
   const AtpgSummary summary = atpg.classify(faults, 10000);
   // Nearly everything classifies quickly; only the handful of genuinely
   // redundant faults (whose proofs need deep search over 64 PIs) may abort.
+  // The dominance-collapsed universe is 1793 faults (2364 uncollapsed).
   EXPECT_LE(summary.aborted, 6u);
-  EXPECT_GE(summary.detected, 1820u);
+  EXPECT_GE(summary.detected, 1780u);
   EXPECT_EQ(summary.detected + summary.undetectable + summary.aborted,
             faults.size());
 }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/prng.hpp"
 #include "fault/fault.hpp"
 #include "fault/simulator.hpp"
@@ -67,14 +69,48 @@ TEST(FaultList, BranchFaultsOnFanoutStems) {
 TEST(FaultList, CollapsedIsSmallerAndConsistent) {
   const Netlist nl = adder4();
   const FaultList full = FaultList::full(nl);
+  const FaultList eq = FaultList::collapsed(nl, /*dominance=*/false);
   const FaultList col = FaultList::collapsed(nl);
-  EXPECT_LT(col.size(), full.size());
+  // Dominance strictly tightens equivalence-only collapsing on this circuit
+  // (the adder's fanout-free AND/OR stems), and both record the size of the
+  // uncollapsed universe they were derived from.
+  EXPECT_LT(eq.size(), full.size());
+  EXPECT_LT(col.size(), eq.size());
   EXPECT_GT(col.size(), full.size() / 4);
+  EXPECT_EQ(full.full_size(), full.size());
+  EXPECT_EQ(eq.full_size(), full.size());
+  EXPECT_EQ(col.full_size(), full.size());
+}
+
+TEST(FaultList, DominanceDropsOnlyDominatedStems) {
+  // Every fault dropped by dominance must be a stem fault of the dominated
+  // polarity on a fanout-free AND/NAND/OR/NOR output — nothing else may go.
+  const Netlist nl = adder4();
+  const FaultList eq = FaultList::collapsed(nl, /*dominance=*/false);
+  const FaultList col = FaultList::collapsed(nl);
+  std::vector<Fault> dropped;
+  for (const Fault& f : eq.faults())
+    if (std::find(col.faults().begin(), col.faults().end(), f) ==
+        col.faults().end())
+      dropped.push_back(f);
+  EXPECT_EQ(eq.size() - col.size(), dropped.size());
+  EXPECT_FALSE(dropped.empty());
+  for (const Fault& f : dropped) {
+    EXPECT_EQ(f.pin, -1) << to_string(nl, f);
+    const GateType t = nl.gate(f.net).type;
+    const bool rule = (t == GateType::kAnd && f.stuck) ||
+                      (t == GateType::kNand && !f.stuck) ||
+                      (t == GateType::kOr && !f.stuck) ||
+                      (t == GateType::kNor && f.stuck);
+    EXPECT_TRUE(rule) << to_string(nl, f);
+  }
 }
 
 TEST(FaultList, CollapsedCoverageEqualsFullCoverage) {
-  // Exhaustive detection fractions must agree: collapsing only merges
-  // equivalent faults.
+  // Exhaustive detection fractions must agree: equivalence collapsing keeps
+  // one representative per class, and a dominance-dropped fault is detected
+  // by every test for the faults that dominate it, so an exhaustive sweep
+  // that detects the full list detects the collapsed one too.
   const Netlist nl = adder4();
   FaultSimulator fs_full(nl, FaultList::full(nl));
   FaultSimulator fs_col(nl, FaultList::collapsed(nl));

@@ -1,0 +1,368 @@
+// Golden-equivalence tests for the compiled gate-evaluation kernel: the
+// gate::EvalProgram instruction stream and everything built on it (the logic
+// simulator, the PPSFP fault simulator, the parallel-fault LaneEngine) must
+// match the retained interpreted reference bit for bit — on the paper's
+// built-in circuits and on seeded random netlists, including lane-fault
+// injection and DFF clocking.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "circuits/random.hpp"
+#include "common/prng.hpp"
+#include "fault/fault.hpp"
+#include "fault/simulator.hpp"
+#include "gate/program.hpp"
+#include "gate/sim.hpp"
+#include "gate/synth.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/control.hpp"
+#include "sim/lane_engine.hpp"
+
+namespace bibs {
+namespace {
+
+using fault::CoverageCurve;
+using fault::EvalBackend;
+using fault::Fault;
+using fault::FaultList;
+using fault::FaultSimulator;
+using gate::EvalProgram;
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+/// The netlists the equivalence suite sweeps: the paper's data paths and
+/// figures (elaborated to gates) plus seeded random circuits.
+std::vector<Netlist> equivalence_netlists() {
+  std::vector<Netlist> out;
+  for (const rtl::Netlist& n :
+       {circuits::make_c5a2m(4), circuits::make_c3a2m(4),
+        circuits::make_c4a4m(4), circuits::make_fig2(), circuits::make_fig4(),
+        circuits::make_fig12a()})
+    out.push_back(gate::elaborate(n).netlist);
+  for (std::uint64_t seed : {7u, 19u, 83u}) {
+    circuits::RandomCircuitOptions opt;
+    opt.seed = seed;
+    opt.comb_blocks = 10;
+    out.push_back(gate::elaborate(circuits::make_random_circuit(opt)).netlist);
+  }
+  return out;
+}
+
+/// Seeds every source net (inputs, constants, DFF outputs) of `values`.
+void seed_sources(const Netlist& nl, Xoshiro256& rng,
+                  std::vector<std::uint64_t>& values) {
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    switch (nl.gate(id).type) {
+      case GateType::kInput:
+      case GateType::kDff:
+        values[static_cast<std::size_t>(id)] = rng.next();
+        break;
+      case GateType::kConst0:
+        values[static_cast<std::size_t>(id)] = 0;
+        break;
+      case GateType::kConst1:
+        values[static_cast<std::size_t>(id)] = ~0ull;
+        break;
+      default:
+        values[static_cast<std::size_t>(id)] = 0;
+    }
+  }
+}
+
+TEST(EvalProgram, RunMatchesReferenceEval) {
+  Xoshiro256 rng(2026);
+  for (const Netlist& nl : equivalence_netlists()) {
+    const EvalProgram prog(nl);
+    const std::vector<NetId> topo = nl.comb_topo_order();
+    ASSERT_EQ(prog.size(), topo.size());
+    std::vector<std::uint64_t> a(nl.net_count()), b;
+    for (int block = 0; block < 4; ++block) {
+      seed_sources(nl, rng, a);
+      b = a;
+      prog.run(a.data());
+      gate::reference_eval(nl, topo, b.data());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "net " << i;
+    }
+  }
+}
+
+TEST(EvalProgram, StructureIsConsistent) {
+  for (const Netlist& nl : equivalence_netlists()) {
+    const EvalProgram prog(nl);
+    // Levels: sources at 0, every instruction above all its fan-ins, and
+    // instructions emitted in non-decreasing level order (topo order).
+    int prev_level = 0;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+      const int lv = prog.level(prog.out(i));
+      EXPECT_LE(prev_level, lv);
+      prev_level = lv;
+      EXPECT_LE(lv, prog.max_level());
+      EXPECT_EQ(prog.instr_of(prog.out(i)), i);
+      for (std::uint32_t k = 0; k < prog.fanin_count(i); ++k) {
+        const NetId f = prog.fanin(i)[k];
+        EXPECT_LT(prog.level(f), lv);
+        EXPECT_EQ(prog.fanin(i)[k], nl.gate(prog.out(i)).fanin[k]);
+        // The fanout CSR of f must list instruction i exactly once.
+        int hits = 0;
+        for (const std::uint32_t* p = prog.fanout_begin(f);
+             p != prog.fanout_end(f); ++p)
+          if (*p == i) ++hits;
+        EXPECT_EQ(hits, 1);
+      }
+    }
+    std::size_t const1 = 0;
+    for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
+      if (nl.gate(id).type == GateType::kConst1) ++const1;
+    EXPECT_EQ(prog.const1_nets().size(), const1);
+  }
+}
+
+/// Compiled and interpreted FaultSimulator backends must produce identical
+/// coverage curves — same detected_at, same pattern counts — from the same
+/// generator stream, across thread counts and through checkpoint/resume.
+TEST(FaultSimulator, CompiledMatchesInterpreted) {
+  // The fault simulator is combinational-only, so sweep the c5a2m kernel
+  // plus a random-seeded logic cloud with reconvergent fanout.
+  std::vector<Netlist> kernels;
+  {
+    const auto n = circuits::make_c5a2m(4);
+    const auto elab = gate::elaborate(n);
+    std::vector<rtl::ConnId> in_regs, out_regs;
+    for (const auto& c : n.connections()) {
+      if (!c.is_register()) continue;
+      if (n.block(c.from).kind == rtl::BlockKind::kInput)
+        in_regs.push_back(c.id);
+      if (n.block(c.to).kind == rtl::BlockKind::kOutput)
+        out_regs.push_back(c.id);
+    }
+    kernels.push_back(gate::combinational_kernel(elab, n, in_regs, out_regs));
+  }
+  {
+    Xoshiro256 rng(99);
+    Netlist nl;
+    std::vector<NetId> pool;
+    for (int i = 0; i < 8; ++i) pool.push_back(nl.add_input());
+    for (int i = 0; i < 40; ++i) {
+      const GateType t = static_cast<GateType>(
+          static_cast<int>(GateType::kAnd) +
+          static_cast<int>(rng.next_below(6)));
+      const NetId a = pool[rng.next_below(pool.size())];
+      const NetId b = pool[rng.next_below(pool.size())];
+      pool.push_back(nl.add_gate(t, {a, b}));
+    }
+    for (std::size_t i = pool.size() - 4; i < pool.size(); ++i)
+      nl.mark_output(pool[i]);
+    kernels.push_back(std::move(nl));
+  }
+
+  for (const Netlist& nl : kernels) {
+    const FaultList faults = FaultList::collapsed(nl);
+    FaultSimulator compiled(nl, faults, EvalBackend::kCompiled);
+    FaultSimulator interp(nl, faults, EvalBackend::kInterpreted);
+
+    Xoshiro256 rng_c(42), rng_i(42);
+    const CoverageCurve c = compiled.run_random(rng_c, 1024);
+    const CoverageCurve i = interp.run_random(rng_i, 1024);
+    ASSERT_EQ(c.patterns_run, i.patterns_run);
+    ASSERT_EQ(c.detected_at, i.detected_at);
+
+    // Threaded compiled run stays identical to the serial interpreted one.
+    FaultSimulator threaded(nl, faults, EvalBackend::kCompiled);
+    threaded.set_threads(4);
+    Xoshiro256 rng_t(42);
+    const CoverageCurve t = threaded.run_random(rng_t, 1024);
+    ASSERT_EQ(t.detected_at, i.detected_at);
+
+    // Checkpoint mid-run on the compiled backend, resume on the interpreted
+    // one: the spliced curve must equal the uninterrupted reference.
+    rt::RunControl ctl;
+    ctl.budget = 256;
+    FaultSimulator first(nl, faults, EvalBackend::kCompiled);
+    Xoshiro256 rng_f(42);
+    const CoverageCurve partial = first.run_random(rng_f, 1024, /*stall=*/
+                                                   std::numeric_limits<
+                                                       std::int64_t>::max(),
+                                                   ctl);
+    ASSERT_EQ(partial.status, rt::RunStatus::kBudgetExhausted);
+    const rt::SimCheckpoint ckpt = first.make_checkpoint(partial, &rng_f);
+    FaultSimulator second(nl, faults, EvalBackend::kInterpreted);
+    Xoshiro256 rng_r(1);  // overwritten from the checkpoint
+    const CoverageCurve resumed =
+        second.run_random(rng_r, 1024,
+                          std::numeric_limits<std::int64_t>::max(), {}, &ckpt);
+    ASSERT_EQ(resumed.detected_at, i.detected_at);
+  }
+}
+
+/// Both backends must agree with naive single-fault full resimulation.
+TEST(FaultSimulator, CompiledMatchesNaiveResimulation) {
+  Xoshiro256 rng(7);
+  Netlist nl;
+  std::vector<NetId> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(nl.add_input());
+  for (int i = 0; i < 24; ++i) {
+    const GateType t = static_cast<GateType>(
+        static_cast<int>(GateType::kAnd) + static_cast<int>(rng.next_below(6)));
+    const NetId a = pool[rng.next_below(pool.size())];
+    const NetId b = pool[rng.next_below(pool.size())];
+    pool.push_back(nl.add_gate(t, {a, b}));
+  }
+  nl.mark_output(pool.back());
+  nl.mark_output(pool[pool.size() - 2]);
+
+  const FaultList faults = FaultList::full(nl);
+  FaultSimulator sim(nl, faults, EvalBackend::kCompiled);
+  const std::size_t nin = nl.inputs().size();
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<bool> pattern(nin);
+    for (std::size_t i = 0; i < nin; ++i) pattern[i] = rng.next() & 1;
+    // Lane 0 carries the pattern; a single-pattern block.
+    FaultSimulator one(nl, faults, EvalBackend::kCompiled);
+    const CoverageCurve curve = one.run(
+        [&](std::uint64_t* w) {
+          for (std::size_t i = 0; i < nin; ++i) w[i] = pattern[i] ? 1u : 0u;
+          return 1;
+        },
+        1);
+    for (std::size_t k = 0; k < faults.size(); ++k) {
+      const bool ppsfp = curve.detected_at[k] == 0;
+      const bool naive = sim.detects_naive(faults[k], pattern);
+      ASSERT_EQ(ppsfp, naive) << to_string(nl, faults[k]);
+    }
+  }
+}
+
+/// Scalar single-lane faulty-machine simulator: the interpreted reference
+/// the LaneEngine's compiled, segmented evaluation is checked against.
+struct ScalarFaultyMachine {
+  const Netlist* nl;
+  Fault f;       // the single fault of this lane (net = kNoNet: fault-free)
+  std::vector<std::uint64_t> val, state;
+
+  explicit ScalarFaultyMachine(const Netlist& n, Fault fault)
+      : nl(&n), f(fault), val(n.net_count(), 0), state(n.net_count(), 0) {}
+
+  std::uint64_t stem(NetId id, std::uint64_t v) const {
+    if (f.net == id && f.pin < 0) return f.stuck ? 1 : 0;
+    return v;
+  }
+  void eval() {
+    for (NetId id = 0; static_cast<std::size_t>(id) < nl->net_count(); ++id) {
+      const gate::Gate& g = nl->gate(id);
+      if (g.type == GateType::kDff)
+        val[static_cast<std::size_t>(id)] =
+            stem(id, state[static_cast<std::size_t>(id)]);
+      else if (g.type == GateType::kConst1)
+        val[static_cast<std::size_t>(id)] = stem(id, 1);
+      else if (g.type == GateType::kConst0 || g.type == GateType::kInput)
+        val[static_cast<std::size_t>(id)] = stem(id, 0);
+    }
+    std::uint64_t in[64];
+    for (NetId id : nl->comb_topo_order()) {
+      const gate::Gate& g = nl->gate(id);
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        in[i] = val[static_cast<std::size_t>(g.fanin[i])];
+      if (f.net == id && f.pin >= 0 && g.type != GateType::kDff)
+        in[static_cast<std::size_t>(f.pin)] = f.stuck ? ~0ull : 0ull;
+      val[static_cast<std::size_t>(id)] = stem(
+          id, gate::Simulator::eval_gate(g.type, in, g.fanin.size()) & 1u);
+    }
+  }
+  std::uint64_t next(NetId d, std::uint64_t v) const {
+    if (f.net == d && f.pin == 0 && nl->gate(d).type == GateType::kDff)
+      return f.stuck ? 1 : 0;
+    return v;
+  }
+  void clock() {
+    for (NetId d : nl->dffs())
+      state[static_cast<std::size_t>(d)] =
+          next(d, val[static_cast<std::size_t>(nl->gate(d).fanin[0])]);
+  }
+};
+
+TEST(LaneEngine, MatchesScalarFaultyMachines) {
+  Xoshiro256 rng(314);
+  for (const Netlist& nl : equivalence_netlists()) {
+    if (nl.dffs().empty()) continue;
+    // Batch: up to 63 faults spread over the whole universe, stem and pin.
+    const FaultList all = FaultList::full(nl);
+    std::vector<Fault> batch;
+    const std::size_t stride = std::max<std::size_t>(1, all.size() / 63);
+    for (std::size_t i = 0; i < all.size() && batch.size() < 63; i += stride)
+      batch.push_back(all[i]);
+
+    sim::LaneEngine eng(nl, batch);
+    std::vector<ScalarFaultyMachine> ref;
+    ref.emplace_back(nl, Fault{});  // lane 0: fault-free
+    for (const Fault& f : batch) ref.emplace_back(nl, f);
+
+    const std::vector<NetId> dffs = nl.dffs();
+    for (int t = 0; t < 6; ++t) {
+      // Drive the first half of the DFFs with fresh random words (the way
+      // sessions inject TPG stimulus), let the rest clock naturally.
+      for (std::size_t i = 0; i < dffs.size() / 2 + 1; ++i) {
+        const std::uint64_t w = rng.next();
+        eng.set_dff_state(dffs[i], w);
+        for (std::size_t lane = 0; lane < ref.size(); ++lane)
+          ref[lane].state[static_cast<std::size_t>(dffs[i])] =
+              (w >> lane) & 1u;
+      }
+      eng.eval();
+      for (std::size_t lane = 0; lane < ref.size(); ++lane) {
+        ref[lane].eval();
+        for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count();
+             ++id)
+          ASSERT_EQ((eng.value(id) >> lane) & 1u,
+                    ref[lane].val[static_cast<std::size_t>(id)])
+              << "net " << id << " lane " << lane << " cycle " << t;
+      }
+      if (t % 3 == 2) {
+        // Exercise clock_override the way the CSTP ring does.
+        const NetId d = dffs[rng.next_below(dffs.size())];
+        const std::uint64_t w = rng.next();
+        eng.clock();
+        eng.clock_override(d, w);
+        for (std::size_t lane = 0; lane < ref.size(); ++lane) {
+          ref[lane].clock();
+          ref[lane].state[static_cast<std::size_t>(d)] =
+              ref[lane].next(d, (w >> lane) & 1u);
+        }
+      } else {
+        eng.clock();
+        for (auto& m : ref) m.clock();
+      }
+      for (std::size_t lane = 0; lane < ref.size(); ++lane)
+        for (NetId d : dffs)
+          ASSERT_EQ((eng.state(d) >> lane) & 1u,
+                    ref[lane].state[static_cast<std::size_t>(d)])
+              << "dff " << d << " lane " << lane << " cycle " << t;
+    }
+  }
+}
+
+TEST(CoverageCurve, PatternsForFractionSelectsWithoutFullSort) {
+  CoverageCurve c;
+  c.detected_at = {9, CoverageCurve::kUndetected, 3, 0, 7,
+                   CoverageCurve::kUndetected, 1};
+  c.patterns_run = 16;
+  // 5 detected faults at patterns {0, 1, 3, 7, 9}.
+  EXPECT_EQ(c.patterns_for_fraction(1.0), 10);   // last detection + 1
+  EXPECT_EQ(c.patterns_for_fraction(0.8), 8);    // ceil(4) -> 4th at 7
+  EXPECT_EQ(c.patterns_for_fraction(0.6), 4);    // ceil(3) -> 3rd at 3
+  EXPECT_EQ(c.patterns_for_fraction(0.2), 1);    // ceil(1) -> 1st at 0
+  EXPECT_EQ(c.patterns_for_fraction(0.01), 1);   // ceil rounds up to 1
+  CoverageCurve none;
+  none.detected_at = {CoverageCurve::kUndetected};
+  EXPECT_EQ(none.patterns_for_fraction(0.5), 0);
+}
+
+}  // namespace
+}  // namespace bibs
