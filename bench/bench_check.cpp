@@ -1,0 +1,71 @@
+// Differential-verification throughput: how fast the bibs::check layer
+// proves things. For a range of random-netlist sizes this reports the
+// exhaustive miter proof rate (vectors/s across all cones), the wall time of
+// the full metamorphic-oracle suite on the (nl, nl) pair, and the mutation
+// smoke rate (mutants/s including their exhaustive ground-truth proofs).
+
+#include <chrono>
+#include <iostream>
+
+#include "check/check.hpp"
+#include "circuits/random.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace bibs;
+  using Clock = std::chrono::steady_clock;
+  const auto secs = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  struct Case {
+    int inputs;
+    int gates;
+    int outputs;
+  };
+  const Case cases[] = {
+      {8, 40, 4}, {12, 120, 6}, {16, 300, 8}, {20, 600, 8}, {24, 1200, 8}};
+
+  Table t("bibs::check throughput (seeded random netlists)");
+  t.header({"PIs", "gates", "cones", "exh. vectors", "proof s", "Mvec/s",
+            "oracles s", "mutants/s"});
+  for (const Case& c : cases) {
+    circuits::RandomGateNetlistOptions ro;
+    ro.inputs = c.inputs;
+    ro.gates = c.gates;
+    ro.outputs = c.outputs;
+    ro.seed = 7;
+    const gate::Netlist nl = circuits::make_random_gate_netlist(ro);
+
+    const auto t0 = Clock::now();
+    const check::EquivResult eq = check::check_equivalence(nl, nl);
+    const auto t1 = Clock::now();
+    std::uint64_t vectors = 0;
+    for (const check::ConeReport& cr : eq.cones) vectors += cr.vectors;
+
+    check::OracleContext ctx;
+    ctx.ref = &nl;
+    ctx.impl = &nl;
+    const auto t2 = Clock::now();
+    for (const check::Oracle& o : check::standard_oracles()) o.fn(ctx);
+    const auto t3 = Clock::now();
+
+    const int mutants = 10;
+    const auto t4 = Clock::now();
+    const check::MutationReport rep =
+        check::mutation_smoke(nl, check::standard_oracles(), mutants, 1);
+    const auto t5 = Clock::now();
+
+    const double proof_s = secs(t0, t1);
+    t.row({Table::num(c.inputs), Table::num(c.gates),
+           Table::num(static_cast<long long>(eq.cones.size())), Table::num(static_cast<long long>(vectors)),
+           Table::num(proof_s, 3),
+           Table::num(static_cast<double>(vectors) / proof_s / 1e6, 2),
+           Table::num(secs(t2, t3), 3),
+           Table::num(static_cast<double>(rep.records.size()) /
+                          secs(t4, t5),
+                      1)});
+  }
+  t.print(std::cout);
+  return 0;
+}

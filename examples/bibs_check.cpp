@@ -1,0 +1,396 @@
+// bibs_check: the differential-verification CLI. Runs the bibs::check suite
+// over the circuit zoo and a fleet of seeded random gate netlists, exercises
+// the TPG exhaustiveness recheck after register-order optimization, and
+// smoke-tests the oracles themselves by mutation, emitting one machine-
+// readable JSON verdict (obs::Json). Exit status 0 iff every check passed.
+//
+//   bibs_check [--netlists N] [--mutants M] [--patterns P] [--threads T]
+//              [--seed S] [--zoo-width W] [--json PATH] [--verbose]
+//
+// Phases:
+//   zoo      every zoo circuit elaborated to gates, all metamorphic oracles
+//            on the (circuit, circuit) pair + the exhaustive miter self-proof
+//   tpg      per zoo kernel: optimize_register_order, then the rank-based
+//            exhaustiveness certificate re-checked (and cross-checked against
+//            the simulation-based certificate when the LFSR is small)
+//   random   N seeded random netlists through every oracle; the miter proof
+//            is exhaustive for every cone within the support limit
+//   mutation M single-site mutants injected over a rotation of base
+//            netlists; survivors are reported by seed
+//   session  BistSession serial report == 2-thread report on two zoo kernels
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
+#include "circuits/random.hpp"
+#include "core/designer.hpp"
+#include "core/kernels.hpp"
+#include "gate/synth.hpp"
+#include "obs/obs.hpp"
+#include "sim/session.hpp"
+#include "tpg/exhaustive.hpp"
+#include "tpg/optimize.hpp"
+
+namespace {
+
+using namespace bibs;
+
+struct Options {
+  int netlists = 200;
+  int mutants = 60;
+  std::int64_t patterns = 192;
+  int threads = 2;
+  std::uint64_t seed = 1;
+  int zoo_width = 3;
+  std::string json_path;
+  bool verbose = false;
+};
+
+struct ZooCase {
+  std::string name;
+  rtl::Netlist n;
+};
+
+std::vector<ZooCase> zoo(int width) {
+  std::vector<ZooCase> out;
+  out.push_back({"fig2", circuits::make_fig2(width)});
+  out.push_back({"fig3", circuits::make_fig3(width)});
+  out.push_back({"fig4", circuits::make_fig4(width)});
+  out.push_back({"fig12a", circuits::make_fig12a(width)});
+  out.push_back({"c5a2m", circuits::make_c5a2m(width)});
+  out.push_back({"c3a2m", circuits::make_c3a2m(width)});
+  out.push_back({"c4a4m", circuits::make_c4a4m(width)});
+  out.push_back({"fir3", circuits::make_fir_datapath(3, width)});
+  out.push_back({"fir6", circuits::make_fir_datapath(6, width)});
+  return out;
+}
+
+/// Shared tallies across phases; `fail` strings become the JSON "failures"
+/// array and drive the exit status.
+struct Tally {
+  int checks = 0;
+  std::vector<std::string> failures;
+  std::vector<obs::Json> failure_details;
+
+  void pass() { ++checks; }
+  void fail(std::string what, obs::Json detail) {
+    ++checks;
+    failures.push_back(std::move(what));
+    failure_details.push_back(std::move(detail));
+  }
+};
+
+/// Runs every standard oracle except the miter (run separately so its cone
+/// reports land in the JSON) on the (nl, nl) pair.
+void run_self_oracles(const gate::Netlist& nl, const std::string& label,
+                      const Options& opt, Tally& tally, obs::Json& out) {
+  check::OracleContext ctx;
+  ctx.ref = &nl;
+  ctx.impl = &nl;
+  ctx.seed = opt.seed;
+  ctx.patterns = opt.patterns;
+  ctx.threads = opt.threads;
+  obs::Json oracles = obs::Json::object();
+  for (const check::Oracle& o : check::standard_oracles()) {
+    if (o.name == "miter_equivalence") continue;
+    const check::Verdict v = o.fn(ctx);
+    oracles[o.name] = obs::Json(v.pass);
+    if (v.pass)
+      tally.pass();
+    else
+      tally.fail(label + ":" + o.name, v.to_json());
+  }
+  out["oracles"] = std::move(oracles);
+
+  check::EquivOptions eopt;
+  eopt.seed = opt.seed;
+  const check::EquivResult eq = check::check_equivalence(nl, nl, eopt);
+  std::size_t exhaustive = 0;
+  for (const check::ConeReport& c : eq.cones) exhaustive += c.exhaustive;
+  out["cones"] = obs::Json(static_cast<std::uint64_t>(eq.cones.size()));
+  out["cones_exhaustive"] = obs::Json(static_cast<std::uint64_t>(exhaustive));
+  out["miter"] = obs::Json(eq.equivalent);
+  if (eq.equivalent)
+    tally.pass();
+  else
+    tally.fail(label + ":miter_equivalence", eq.to_json());
+}
+
+obs::Json phase_zoo(const Options& opt, Tally& tally) {
+  obs::Span span("check.zoo");
+  obs::Json arr = obs::Json::array();
+  for (const ZooCase& z : zoo(opt.zoo_width)) {
+    obs::Json j = obs::Json::object();
+    j["circuit"] = obs::Json(z.name);
+    const gate::Elaboration elab = gate::elaborate(z.n);
+    j["gates"] = obs::Json(static_cast<std::uint64_t>(
+        elab.netlist.gate_count()));
+    run_self_oracles(elab.netlist, "zoo/" + z.name, opt, tally, j);
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+obs::Json phase_tpg(const Options& opt, Tally& tally) {
+  obs::Span span("check.tpg");
+  obs::Json arr = obs::Json::array();
+  for (const ZooCase& z : zoo(opt.zoo_width)) {
+    const core::DesignResult design = core::design_bibs(z.n);
+    if (!design.report.ok) {
+      tally.fail("tpg/" + z.name + ":design", obs::Json(z.name));
+      continue;
+    }
+    for (std::size_t ki = 0; ki < design.report.kernels.size(); ++ki) {
+      const core::Kernel& k = design.report.kernels[ki];
+      if (k.trivial) continue;
+      const std::string kname = "k" + std::to_string(ki);
+      const tpg::GeneralizedStructure s =
+          core::kernel_structure(z.n, design.bilbo, k);
+      // Permutation search is factorial in the register count; the zoo
+      // kernels all fit, but guard anyway.
+      if (s.registers.size() > 7) continue;
+      obs::Json j = obs::Json::object();
+      j["circuit"] = obs::Json(z.name);
+      j["kernel"] = obs::Json(kname);
+      const tpg::OrderResult opt_order = tpg::optimize_register_order(s);
+      const tpg::ExhaustiveReport rank =
+          tpg::check_exhaustive_rank(opt_order.design);
+      j["lfsr_stages"] = obs::Json(opt_order.design.lfsr_stages);
+      j["rank_exhaustive"] = obs::Json(rank.all_exhaustive);
+      if (rank.all_exhaustive)
+        tally.pass();
+      else
+        tally.fail("tpg/" + z.name + "/" + kname + ":rank", j);
+      // Cross-check the algebraic certificate against brute-force TPG
+      // simulation where the period makes that affordable.
+      if (rank.all_exhaustive && opt_order.design.lfsr_stages <= 16) {
+        const tpg::ExhaustiveReport sim_rep =
+            tpg::check_exhaustive_sim(opt_order.design);
+        j["sim_exhaustive"] = obs::Json(sim_rep.all_exhaustive);
+        if (sim_rep.all_exhaustive)
+          tally.pass();
+        else
+          tally.fail("tpg/" + z.name + "/" + kname + ":sim", j);
+      }
+      arr.push_back(std::move(j));
+    }
+  }
+  return arr;
+}
+
+obs::Json phase_random(const Options& opt, Tally& tally) {
+  obs::Span span("check.random");
+  obs::Json j = obs::Json::object();
+  std::uint64_t cones = 0, exhaustive = 0;
+  int failed = 0;
+  for (int i = 0; i < opt.netlists; ++i) {
+    circuits::RandomGateNetlistOptions ro;
+    ro.inputs = 4 + i % 7;
+    ro.gates = 12 + (i * 7) % 48;
+    ro.outputs = 1 + i % 4;
+    ro.seed = opt.seed * 1000 + static_cast<std::uint64_t>(i);
+    const gate::Netlist nl = circuits::make_random_gate_netlist(ro);
+
+    obs::Json rj = obs::Json::object();
+    rj["seed"] = obs::Json(ro.seed);
+    Tally local;
+    run_self_oracles(nl, "random/" + std::to_string(ro.seed), opt, local, rj);
+    cones += rj.find("cones")->number();
+    exhaustive += rj.find("cones_exhaustive")->number();
+    tally.checks += local.checks;
+    failed += static_cast<int>(local.failures.size());
+    for (std::size_t f = 0; f < local.failures.size(); ++f) {
+      tally.failures.push_back(local.failures[f]);
+      tally.failure_details.push_back(std::move(local.failure_details[f]));
+    }
+  }
+  j["netlists"] = obs::Json(opt.netlists);
+  j["cones"] = obs::Json(cones);
+  j["cones_exhaustive"] = obs::Json(exhaustive);
+  j["failed_checks"] = obs::Json(failed);
+  return j;
+}
+
+obs::Json phase_mutation(const Options& opt, Tally& tally) {
+  obs::Span span("check.mutation");
+  // Small bases: every cone is exhaustible, so mutant ground truth is a
+  // proof and the per-oracle random budgets see most of the input space.
+  std::vector<gate::Netlist> bases;
+  for (int b = 0; b < 4; ++b) {
+    circuits::RandomGateNetlistOptions ro;
+    ro.inputs = 5 + b;
+    ro.gates = 16 + 6 * b;
+    ro.outputs = 2 + b % 2;
+    ro.seed = opt.seed * 77 + static_cast<std::uint64_t>(b);
+    bases.push_back(circuits::make_random_gate_netlist(ro));
+  }
+  check::OracleContext base;
+  base.patterns = opt.patterns;
+  base.threads = opt.threads;
+  base.emit_netlist = false;
+
+  check::MutationReport total;
+  obs::Json per_base = obs::Json::array();
+  const int per = (opt.mutants + 3) / 4;
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    const check::MutationReport rep = check::mutation_smoke(
+        bases[b], check::standard_oracles(), per,
+        opt.seed * 77 + 1000 * (b + 1), base);
+    total.mutants += rep.mutants;
+    total.equivalents += rep.equivalents;
+    total.undecided += rep.undecided;
+    total.killed_by_all += rep.killed_by_all;
+    total.killed_by_any += rep.killed_by_any;
+    per_base.push_back(rep.to_json());
+  }
+  obs::Json j = obs::Json::object();
+  j["mutants"] = obs::Json(static_cast<std::uint64_t>(total.mutants));
+  j["equivalents"] = obs::Json(static_cast<std::uint64_t>(total.equivalents));
+  j["undecided"] = obs::Json(static_cast<std::uint64_t>(total.undecided));
+  j["killed_by_any"] =
+      obs::Json(static_cast<std::uint64_t>(total.killed_by_any));
+  j["killed_by_all"] =
+      obs::Json(static_cast<std::uint64_t>(total.killed_by_all));
+  j["kill_rate"] = obs::Json(total.kill_rate());
+  j["strong_kill_rate"] = obs::Json(total.strong_kill_rate());
+  j["bases"] = std::move(per_base);
+  if (total.kill_rate() >= 0.95)
+    tally.pass();
+  else
+    tally.fail("mutation:kill_rate", obs::Json(total.kill_rate()));
+  return j;
+}
+
+obs::Json phase_session(const Options&, Tally& tally) {
+  obs::Span span("check.session");
+  obs::Json arr = obs::Json::array();
+  for (const char* name : {"fig2", "c5a2m"}) {
+    const rtl::Netlist n = std::string(name) == "fig2"
+                               ? circuits::make_fig2(2)
+                               : circuits::make_c5a2m(2);
+    const core::DesignResult design = core::design_bibs(n);
+    const gate::Elaboration elab = gate::elaborate(n);
+    for (std::size_t ki = 0; ki < design.report.kernels.size(); ++ki) {
+      const core::Kernel& k = design.report.kernels[ki];
+      if (k.trivial) continue;
+      const std::string kname = "k" + std::to_string(ki);
+      sim::BistSession serial(n, elab, design.bilbo, k);
+      sim::BistSession threaded(n, elab, design.bilbo, k);
+      threaded.set_threads(2);
+      const fault::FaultList faults = serial.kernel_faults();
+      const std::int64_t cycles = 512;
+      const sim::SessionReport a = serial.run(faults, cycles);
+      const sim::SessionReport b = threaded.run(faults, cycles);
+      obs::Json j = obs::Json::object();
+      j["circuit"] = obs::Json(std::string(name));
+      j["kernel"] = obs::Json(kname);
+      j["identical"] = obs::Json(a == b);
+      if (a == b)
+        tally.pass();
+      else
+        tally.fail("session/" + std::string(name) + "/" + kname,
+                   obs::Json("serial vs 2-thread report mismatch"));
+      arr.push_back(std::move(j));
+      break;  // one kernel per circuit keeps the phase cheap
+    }
+  }
+  return arr;
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--netlists" && i + 1 < argc) opt.netlists = std::atoi(argv[++i]);
+    else if (arg == "--mutants" && i + 1 < argc) opt.mutants = std::atoi(argv[++i]);
+    else if (arg == "--patterns" && i + 1 < argc) opt.patterns = std::atoll(argv[++i]);
+    else if (arg == "--threads" && i + 1 < argc) opt.threads = std::atoi(argv[++i]);
+    else if (arg == "--seed" && i + 1 < argc) opt.seed = std::stoull(argv[++i]);
+    else if (arg == "--zoo-width" && i + 1 < argc) opt.zoo_width = std::atoi(argv[++i]);
+    else if (arg == "--json" && i + 1 < argc) opt.json_path = argv[++i];
+    else if (arg == "--verbose") opt.verbose = true;
+    else {
+      std::cerr << "unknown argument '" << arg << "'\n"
+                << "usage: bibs_check [--netlists N] [--mutants M]"
+                   " [--patterns P] [--threads T] [--seed S]"
+                   " [--zoo-width W] [--json PATH] [--verbose]\n";
+      return 2;
+    }
+  }
+
+  Tally tally;
+  obs::Json verdict = obs::Json::object();
+  verdict["tool"] = obs::Json("bibs_check");
+  verdict["seed"] = obs::Json(opt.seed);
+
+  try {
+    verdict["zoo"] = phase_zoo(opt, tally);
+    std::cout << "zoo:      9 circuits (width " << opt.zoo_width
+              << "), all oracles + exhaustive miter self-proof\n";
+    verdict["tpg"] = phase_tpg(opt, tally);
+    std::cout << "tpg:      register-order optimization certificates"
+                 " re-checked\n";
+    verdict["random"] = phase_random(opt, tally);
+    {
+      const obs::Json& r = verdict["random"];
+      std::cout << "random:   " << opt.netlists << " netlists, "
+                << static_cast<std::uint64_t>(r.find("cones")->number())
+                << " cones ("
+                << static_cast<std::uint64_t>(
+                       r.find("cones_exhaustive")->number())
+                << " proved exhaustively)\n";
+    }
+    verdict["mutation"] = phase_mutation(opt, tally);
+    {
+      const obs::Json& m = verdict["mutation"];
+      std::cout << "mutation: "
+                << static_cast<std::uint64_t>(m.find("mutants")->number())
+                << " mutants, kill rate " << m.find("kill_rate")->number()
+                << " (strong " << m.find("strong_kill_rate")->number() << ")\n";
+    }
+    verdict["session"] = phase_session(opt, tally);
+    std::cout << "session:  serial == 2-thread BIST session reports\n";
+  } catch (const Error& e) {
+    tally.fail("exception", obs::Json(std::string(e.what())));
+    std::cerr << "error: " << e.what() << "\n";
+  }
+
+  verdict["checks"] = obs::Json(tally.checks);
+  obs::Json fails = obs::Json::array();
+  for (std::size_t i = 0; i < tally.failures.size(); ++i) {
+    obs::Json f = obs::Json::object();
+    f["check"] = obs::Json(tally.failures[i]);
+    f["detail"] = std::move(tally.failure_details[i]);
+    fails.push_back(std::move(f));
+  }
+  verdict["failures"] = std::move(fails);
+  const bool pass = tally.failures.empty();
+  verdict["pass"] = obs::Json(pass);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    out << verdict.dump() << "\n";
+  } else if (opt.verbose) {
+    std::cout << verdict.dump() << "\n";
+  }
+  std::cout << (pass ? "PASS" : "FAIL") << " (" << tally.checks
+            << " checks, " << tally.failures.size() << " failures)\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 2;
+  }
+}

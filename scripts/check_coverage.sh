@@ -1,0 +1,114 @@
+#!/usr/bin/env sh
+# Line coverage of the tier-1 suite, reported per subsystem. Configures a
+# fresh build with BIBS_COVERAGE=ON (gcov instrumentation, -O0), runs every
+# tier-1 test (the bibs-report label is excluded: those are meta-checks that
+# spawn their own builds), then aggregates gcov line counts by src/<subsystem>.
+# Each source file is counted once at its best-observed coverage, so headers
+# compiled into many translation units are not double-counted.
+#
+# The check fails only if the suite itself fails or total line coverage drops
+# below the floor — the per-subsystem table is informational. The current
+# baseline is recorded in docs/testing.md; raise the floor when it rises.
+#
+# Usage: check_coverage.sh [source-dir] [min-total-percent]
+set -eu
+
+SRC=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+MIN_TOTAL=${2:-80}
+
+if ! command -v gcov > /dev/null 2>&1; then
+  echo "SKIP: gcov not found" >&2
+  exit 77
+fi
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/bibs_cov.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "== configure with BIBS_COVERAGE=ON =="
+cmake -S "$SRC" -B "$TMP/build" -DBIBS_COVERAGE=ON \
+  > "$TMP/configure.log" 2>&1 || {
+  cat "$TMP/configure.log"
+  echo "FAIL: configure with BIBS_COVERAGE" >&2
+  exit 1
+}
+
+echo "== build (instrumented, -O0) =="
+cmake --build "$TMP/build" -j > "$TMP/build.log" 2>&1 || {
+  tail -50 "$TMP/build.log"
+  echo "FAIL: instrumented build" >&2
+  exit 1
+}
+
+echo "== run tier-1 tests =="
+(cd "$TMP/build" && ctest -LE bibs-report --output-on-failure) \
+  > "$TMP/ctest.log" 2>&1 || {
+  tail -80 "$TMP/ctest.log"
+  echo "FAIL: tier-1 suite under coverage build" >&2
+  exit 1
+}
+
+echo "== aggregate gcov by subsystem =="
+# gcov prints, per source file it can attribute:
+#   File 'src/fault/fault.cpp'
+#   Lines executed:95.00% of 120
+# Run it over every counter file and fold those pairs into per-subsystem
+# totals. -n: report only, write no .gcov files.
+(cd "$TMP/build" && find . -name '*.gcda' -exec gcov -n {} + 2> /dev/null) \
+  > "$TMP/gcov.log" || true
+
+awk -v src="$SRC/" -v min_total="$MIN_TOTAL" '
+  /^File / {
+    file = $0
+    sub(/^File ./, "", file)         # drop the File prefix and open quote
+    sub(/.$/, "", file)              # drop the closing quote
+    sub(src, "", file)               # absolute -> repo-relative
+    sub(/^\.\//, "", file)
+    next
+  }
+  /^Lines executed:/ && file != "" {
+    split($0, a, /[:% ]+/)           # a[3]=percent, a[5]=total lines
+    pct = a[3] + 0; total = a[5] + 0
+    hit = pct * total / 100.0
+    if (file ~ /^src\//) {
+      if (!(file in ftotal) || hit > fhit[file]) {
+        ftotal[file] = total
+        fhit[file] = hit
+      }
+    }
+    file = ""
+  }
+  END {
+    grand_hit = 0; grand_total = 0
+    for (f in ftotal) {
+      sub2 = f
+      sub(/^src\//, "", sub2)
+      sub(/\/.*/, "", sub2)
+      shit[sub2] += fhit[f]
+      stotal[sub2] += ftotal[f]
+      grand_hit += fhit[f]
+      grand_total += ftotal[f]
+    }
+    # Sort subsystem names (insertion sort; asorti is gawk-only).
+    n = 0
+    for (s in stotal) keys[++n] = s
+    for (i = 2; i <= n; i++)
+      for (j = i; j > 1 && keys[j] < keys[j - 1]; j--) {
+        t = keys[j]; keys[j] = keys[j - 1]; keys[j - 1] = t
+      }
+    printf "%-14s %10s %10s %8s\n", "subsystem", "lines", "covered", "pct"
+    for (i = 1; i <= n; i++) {
+      s = keys[i]
+      printf "%-14s %10d %10d %7.1f%%\n", s, stotal[s], shit[s],
+             stotal[s] ? 100.0 * shit[s] / stotal[s] : 0
+    }
+    tpct = grand_total ? 100.0 * grand_hit / grand_total : 0
+    printf "%-14s %10d %10d %7.1f%%\n", "TOTAL", grand_total, grand_hit, tpct
+    if (tpct < min_total) {
+      printf "FAIL: total line coverage %.1f%% is below the %.0f%% floor\n",
+             tpct, min_total > "/dev/stderr"
+      exit 1
+    }
+  }
+' "$TMP/gcov.log"
+
+echo "OK: tier-1 line coverage at or above ${MIN_TOTAL}%"

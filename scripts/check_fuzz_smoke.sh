@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Short libFuzzer smoke over the checked-in seed corpus (fuzz/corpus). Builds
+# the fuzz_parsers harness with clang (-fsanitize=fuzzer requires it) plus
+# ASan+UBSan, replays every seed, then fuzzes from them for a bounded wall
+# time. Any crash, sanitizer finding or non-bibs exception fails the check.
+# On toolchains without clang the check SKIPS (exit 77; ctest maps that to
+# "skipped" via SKIP_RETURN_CODE) rather than failing — the harness is still
+# compiled into CI images that carry clang (label: bibs-report).
+#
+# Usage: check_fuzz_smoke.sh [source-dir] [max-total-time-seconds]
+set -eu
+
+SRC=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+FUZZ_SECS=${2:-30}
+
+CLANGXX=${CLANGXX:-clang++}
+if ! command -v "$CLANGXX" > /dev/null 2>&1; then
+  echo "SKIP: $CLANGXX not found; libFuzzer needs clang" >&2
+  exit 77
+fi
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/bibs_fuzz.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "== configure with BIBS_FUZZ=ON (clang) =="
+CXX=$CLANGXX cmake -S "$SRC" -B "$TMP/build" -DBIBS_FUZZ=ON \
+  -DBIBS_SANITIZE="address;undefined" > "$TMP/configure.log" 2>&1 || {
+  cat "$TMP/configure.log"
+  echo "FAIL: configure with BIBS_FUZZ" >&2
+  exit 1
+}
+
+cmake --build "$TMP/build" -j --target fuzz_parsers \
+  > "$TMP/build.log" 2>&1 || {
+  tail -50 "$TMP/build.log"
+  echo "FAIL: fuzzer build" >&2
+  exit 1
+}
+
+FUZZER="$TMP/build/fuzz/fuzz_parsers"
+CORPUS="$SRC/fuzz/corpus"
+
+echo "== replay checked-in seeds =="
+# -runs=0 loads and executes every corpus file without mutating: a pure
+# regression replay, so a seed that once crashed can never crash again.
+"$FUZZER" -runs=0 "$CORPUS" > "$TMP/replay.log" 2>&1 || {
+  tail -50 "$TMP/replay.log"
+  echo "FAIL: seed replay crashed" >&2
+  exit 1
+}
+
+echo "== fuzz for ${FUZZ_SECS}s from the seed corpus =="
+mkdir -p "$TMP/corpus"
+"$FUZZER" -max_total_time="$FUZZ_SECS" -max_len=4096 -timeout=5 \
+  -artifact_prefix="$TMP/" "$TMP/corpus" "$CORPUS" > "$TMP/fuzz.log" 2>&1 || {
+  tail -80 "$TMP/fuzz.log"
+  echo "FAIL: fuzzer found a crash (artifacts in $TMP before cleanup)" >&2
+  # Preserve the reproducer where ctest logs can point at it.
+  for f in "$TMP"/crash-* "$TMP"/timeout-* "$TMP"/oom-*; do
+    [ -e "$f" ] && cp "$f" "$SRC/fuzz/" && echo "reproducer: fuzz/$(basename "$f")" >&2
+  done
+  exit 1
+}
+
+tail -3 "$TMP/fuzz.log"
+echo "OK: fuzz_parsers clean over corpus replay + ${FUZZ_SECS}s fuzzing"

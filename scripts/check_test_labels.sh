@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Keeps the test inventory honest: every test source and every check script
+# in the tree must actually be wired into ctest, so nothing silently falls
+# out of all tiers (tier 1 = unlabeled tests run by a plain `ctest`;
+# tier 2 = the "bibs-report" label).
+#
+#   - every tests/*_test.cpp has a bibs_test(<name> ...) registration
+#   - every scripts/check_*.sh is referenced by an add_test(... COMMAND sh ...)
+#   - every bibs_test / add_test names a source / script that exists
+#     (no dead registrations pointing at deleted files)
+#
+# Usage: check_test_labels.sh [source-dir]
+set -eu
+
+SRC=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+CML="$SRC/tests/CMakeLists.txt"
+FAIL=0
+
+# --- tests/*_test.cpp <-> bibs_test(<name>) -------------------------------
+for f in "$SRC"/tests/*_test.cpp; do
+  name=$(basename "$f" .cpp)
+  if ! grep -Eq "^[[:space:]]*bibs_test\($name([[:space:]]|\))" "$CML"; then
+    echo "FAIL: tests/$name.cpp has no bibs_test($name) in tests/CMakeLists.txt" >&2
+    FAIL=1
+  fi
+done
+
+# Registration names contain no whitespace, so word-splitting the grep
+# output is safe (and keeps FAIL in this shell, not a pipeline subshell).
+for name in $(grep -Eo '^[[:space:]]*bibs_test\([a-z_0-9]+' "$CML" |
+              sed 's/.*(//'); do
+  if [ ! -f "$SRC/tests/$name.cpp" ]; then
+    echo "FAIL: bibs_test($name) registered but tests/$name.cpp does not exist" >&2
+    FAIL=1
+  fi
+done
+
+# --- scripts/check_*.sh <-> add_test(... COMMAND sh ...) ------------------
+for f in "$SRC"/scripts/check_*.sh; do
+  script=$(basename "$f")
+  if ! grep -q "scripts/$script" "$CML"; then
+    echo "FAIL: scripts/$script is not registered as a ctest in tests/CMakeLists.txt" >&2
+    FAIL=1
+  fi
+done
+
+for script in $(grep -Eo 'scripts/check_[a-z_0-9]+\.sh' "$CML" | sort -u); do
+  if [ ! -f "$SRC/$script" ]; then
+    echo "FAIL: tests/CMakeLists.txt runs $script but it does not exist" >&2
+    FAIL=1
+  fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "FAIL: test inventory and ctest registrations disagree" >&2
+  exit 1
+fi
+
+echo "OK: every test source and check script is registered with ctest"

@@ -1,0 +1,23 @@
+#pragma once
+// bibs::check — the differential verification subsystem.
+//
+// Three layers, each usable on its own:
+//   * miter.hpp    — XOR-miter combinational equivalence (exhaustive per
+//                    input cone where feasible, seeded-random otherwise,
+//                    minimized counterexamples);
+//   * oracles.hpp  — metamorphic oracles over (reference, implementation)
+//                    netlist pairs: compiled-vs-interpreted eval identity,
+//                    serial-vs-threaded and checkpoint-splice coverage-curve
+//                    identities, backend curve identity;
+//   * mutate.hpp   — single-site mutation engine plus the smoke harness
+//                    that proves the oracles can actually fail.
+//
+// The bibs_check CLI (examples/bibs_check.cpp) drives all of it over the
+// circuit zoo and seeded random netlists and emits a JSON verdict; ctest
+// runs it as a tier-1 gate (`check_differential`). docs/testing.md explains
+// how to add an oracle.
+
+#include "check/miter.hpp"    // IWYU pragma: export
+#include "check/mutate.hpp"   // IWYU pragma: export
+#include "check/oracles.hpp"  // IWYU pragma: export
+#include "check/verdict.hpp"  // IWYU pragma: export

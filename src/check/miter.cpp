@@ -1,0 +1,329 @@
+#include "check/miter.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gate/bench_format.hpp"
+#include "gate/program.hpp"
+
+namespace bibs::check {
+
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+gate::Netlist combinational_view(const Netlist& nl) {
+  Netlist out;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const gate::Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        out.add_input(g.name);
+        break;
+      case GateType::kConst0:
+        out.add_const(false);
+        break;
+      case GateType::kConst1:
+        out.add_const(true);
+        break;
+      case GateType::kDff:
+        // The register cut: Q becomes a pseudo primary input. Ids are
+        // preserved because every add_* appends exactly one net.
+        out.add_input(g.name.empty() ? "dff" + std::to_string(id) : g.name);
+        break;
+      default:
+        out.add_gate(g.type, g.fanin, g.name);
+        break;
+    }
+  }
+  for (std::size_t k = 0; k < nl.outputs().size(); ++k)
+    out.mark_output(nl.outputs()[k], nl.output_names()[k]);
+  for (NetId d : nl.dffs()) {
+    const gate::Gate& g = nl.gate(d);
+    if (g.fanin.empty()) continue;  // unconnected DFF: nothing to observe
+    out.mark_output(g.fanin[0],
+                    (g.name.empty() ? "dff" + std::to_string(d) : g.name) +
+                        ".d");
+  }
+  return out;
+}
+
+Miter make_miter(const Netlist& a, const Netlist& b) {
+  if (!a.dffs().empty() || !b.dffs().empty())
+    throw DesignError("make_miter needs combinational netlists; cut with "
+                      "combinational_view first");
+  if (a.inputs().size() != b.inputs().size())
+    throw DesignError("miter interface mismatch: " +
+                      std::to_string(a.inputs().size()) + " vs " +
+                      std::to_string(b.inputs().size()) + " inputs");
+  if (a.outputs().size() != b.outputs().size())
+    throw DesignError("miter interface mismatch: " +
+                      std::to_string(a.outputs().size()) + " vs " +
+                      std::to_string(b.outputs().size()) + " outputs");
+
+  Miter m;
+  // Half a: copied verbatim, so a's net ids survive unchanged.
+  for (NetId id = 0; static_cast<std::size_t>(id) < a.net_count(); ++id) {
+    const gate::Gate& g = a.gate(id);
+    switch (g.type) {
+      case GateType::kInput: m.netlist.add_input(g.name); break;
+      case GateType::kConst0: m.netlist.add_const(false); break;
+      case GateType::kConst1: m.netlist.add_const(true); break;
+      default: m.netlist.add_gate(g.type, g.fanin, g.name); break;
+    }
+  }
+  m.inputs = m.netlist.inputs();
+  // Half b: appended with inputs folded onto a's (by input index). Fan-ins
+  // of combinational gates always reference earlier ids, so a single
+  // in-order remap pass suffices.
+  std::vector<NetId> remap(b.net_count(), gate::kNoNet);
+  for (std::size_t j = 0; j < b.inputs().size(); ++j)
+    remap[static_cast<std::size_t>(b.inputs()[j])] = m.inputs[j];
+  for (NetId id = 0; static_cast<std::size_t>(id) < b.net_count(); ++id) {
+    const gate::Gate& g = b.gate(id);
+    if (g.type == GateType::kInput) continue;  // folded above
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+      remap[static_cast<std::size_t>(id)] =
+          m.netlist.add_const(g.type == GateType::kConst1);
+      continue;
+    }
+    std::vector<NetId> fanin;
+    fanin.reserve(g.fanin.size());
+    for (NetId f : g.fanin) fanin.push_back(remap[static_cast<std::size_t>(f)]);
+    remap[static_cast<std::size_t>(id)] =
+        m.netlist.add_gate(g.type, std::move(fanin), g.name);
+  }
+  // One XOR per output pair, then an OR reduction to the single miter net.
+  for (std::size_t k = 0; k < a.outputs().size(); ++k) {
+    const NetId ao = a.outputs()[k];
+    const NetId bo = remap[static_cast<std::size_t>(b.outputs()[k])];
+    m.xors.push_back(m.netlist.add_gate(GateType::kXor, {ao, bo},
+                                        "xor_o" + std::to_string(k)));
+  }
+  std::vector<NetId> frontier = m.xors;
+  while (frontier.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2)
+      next.push_back(
+          m.netlist.add_gate(GateType::kOr, {frontier[i], frontier[i + 1]}));
+    if (frontier.size() % 2) next.push_back(frontier.back());
+    frontier.swap(next);
+  }
+  m.out = frontier.empty() ? gate::kNoNet : frontier[0];
+  if (m.out != gate::kNoNet) m.netlist.mark_output(m.out, "miter");
+  return m;
+}
+
+std::vector<NetId> input_support(const Netlist& nl, NetId net) {
+  std::vector<char> seen(nl.net_count(), 0);
+  std::vector<NetId> stack{net}, support;
+  seen[static_cast<std::size_t>(net)] = 1;
+  while (!stack.empty()) {
+    const NetId id = stack.back();
+    stack.pop_back();
+    const gate::Gate& g = nl.gate(id);
+    if (g.type == GateType::kInput) {
+      support.push_back(id);
+      continue;
+    }
+    for (NetId f : g.fanin) {
+      if (seen[static_cast<std::size_t>(f)]) continue;
+      seen[static_cast<std::size_t>(f)] = 1;
+      stack.push_back(f);
+    }
+  }
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+namespace {
+
+std::string output_label(const Netlist& nl, std::size_t k) {
+  const std::string& n = nl.output_names()[k];
+  return n.empty() ? "#" + std::to_string(k) : n;
+}
+
+/// One compiled evaluation context over the miter netlist.
+struct MiterEval {
+  const Miter* m;
+  gate::EvalProgram prog;
+  std::vector<std::uint64_t> vals;
+
+  explicit MiterEval(const Miter& mm)
+      : m(&mm), prog(mm.netlist), vals(mm.netlist.net_count(), 0) {}
+
+  void sweep() {
+    for (NetId c : prog.const1_nets())
+      vals[static_cast<std::size_t>(c)] = ~0ull;
+    prog.run(vals.data());
+  }
+
+  /// Single replicated vector; returns the xor-net bit.
+  bool differs(std::size_t cone, const std::vector<bool>& v) {
+    for (std::size_t i = 0; i < m->inputs.size(); ++i)
+      vals[static_cast<std::size_t>(m->inputs[i])] = v[i] ? ~0ull : 0ull;
+    sweep();
+    return vals[static_cast<std::size_t>(m->xors[cone])] & 1u;
+  }
+};
+
+/// Greedy shrink: clear every 1-bit that is not needed to keep the cone
+/// diverging. The result still diverges (re-checked after each step).
+std::vector<bool> minimize_vector(MiterEval& ev, std::size_t cone,
+                                  std::vector<bool> v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v[i]) continue;
+    v[i] = false;
+    if (!ev.differs(cone, v)) v[i] = true;
+  }
+  return v;
+}
+
+}  // namespace
+
+obs::Json EquivResult::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["equivalent"] = obs::Json(equivalent);
+  j["proven"] = obs::Json(proven);
+  if (structural_mismatch) j["structural_mismatch"] = obs::Json(true);
+  j["detail"] = obs::Json(detail);
+  obs::Json cs = obs::Json::array();
+  for (const ConeReport& c : cones) {
+    obs::Json cj = obs::Json::object();
+    cj["output"] = obs::Json(c.output);
+    cj["support"] = obs::Json(static_cast<std::uint64_t>(c.support));
+    cj["exhaustive"] = obs::Json(c.exhaustive);
+    cj["vectors"] = obs::Json(c.vectors);
+    cj["equal"] = obs::Json(c.equal);
+    cs.push_back(std::move(cj));
+  }
+  j["cones"] = std::move(cs);
+  if (cx.valid) j["counterexample"] = cx.to_json();
+  return j;
+}
+
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              const EquivOptions& opt) {
+  const Netlist av = combinational_view(a);
+  const Netlist bv = combinational_view(b);
+
+  EquivResult r;
+  if (av.inputs().size() != bv.inputs().size() ||
+      av.outputs().size() != bv.outputs().size()) {
+    r.structural_mismatch = true;
+    r.detail = "interface mismatch: " + std::to_string(av.inputs().size()) +
+               "/" + std::to_string(av.outputs().size()) + " vs " +
+               std::to_string(bv.inputs().size()) + "/" +
+               std::to_string(bv.outputs().size()) + " inputs/outputs";
+    r.cx.valid = true;
+    r.cx.seed = opt.seed;
+    if (opt.emit_netlist) r.cx.netlist_bench = gate::to_bench(bv);
+    return r;
+  }
+
+  const Miter m = make_miter(av, bv);
+  MiterEval ev(m);
+  const std::size_t nin = m.inputs.size();
+
+  auto report_failure = [&](std::size_t cone, std::vector<bool> vec) {
+    r.equivalent = false;
+    r.cx.valid = true;
+    r.cx.seed = opt.seed;
+    r.cx.output = output_label(av, cone);
+    r.cx.inputs = minimize_vector(ev, cone, std::move(vec));
+    if (opt.emit_netlist) r.cx.netlist_bench = gate::to_bench(bv);
+    r.detail = "output " + r.cx.output + " diverges";
+  };
+
+  std::vector<std::size_t> wide;  // cones handled by the random phase
+  for (std::size_t k = 0; k < m.xors.size(); ++k) {
+    ConeReport cr;
+    cr.output = output_label(av, k);
+    const std::vector<NetId> support = input_support(m.netlist, m.xors[k]);
+    cr.support = support.size();
+    if (cr.support > opt.exhaustive_limit) {
+      wide.push_back(k);
+      r.cones.push_back(cr);
+      continue;
+    }
+    cr.exhaustive = true;
+    const std::uint64_t total = 1ull << cr.support;
+    cr.vectors = total;
+    for (NetId in : m.inputs) ev.vals[static_cast<std::size_t>(in)] = 0;
+    for (std::uint64_t base = 0; base < total; base += 64) {
+      const unsigned lanes =
+          static_cast<unsigned>(std::min<std::uint64_t>(64, total - base));
+      for (std::size_t i = 0; i < support.size(); ++i) {
+        std::uint64_t w = 0;
+        for (unsigned l = 0; l < lanes; ++l)
+          w |= (((base + l) >> i) & 1u) << l;
+        ev.vals[static_cast<std::size_t>(support[i])] = w;
+      }
+      ev.sweep();
+      const std::uint64_t mask =
+          lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
+      const std::uint64_t diff =
+          ev.vals[static_cast<std::size_t>(m.xors[k])] & mask;
+      if (diff) {
+        const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+        std::vector<bool> vec(nin, false);
+        for (std::size_t i = 0; i < support.size(); ++i) {
+          // Map the support-local pattern index back to full PI positions.
+          const std::size_t pos = static_cast<std::size_t>(
+              std::find(m.inputs.begin(), m.inputs.end(), support[i]) -
+              m.inputs.begin());
+          vec[pos] = ((base + lane) >> i) & 1u;
+        }
+        cr.equal = false;
+        r.cones.push_back(cr);
+        report_failure(k, std::move(vec));
+        return r;
+      }
+    }
+    r.cones.push_back(cr);
+  }
+
+  if (!wide.empty()) {
+    Xoshiro256 rng(opt.seed);
+    const std::int64_t blocks = (opt.random_vectors + 63) / 64;
+    for (std::int64_t blk = 0; blk < blocks; ++blk) {
+      for (NetId in : m.inputs)
+        ev.vals[static_cast<std::size_t>(in)] = rng.next();
+      ev.sweep();
+      for (std::size_t k : wide) {
+        const std::uint64_t diff =
+            ev.vals[static_cast<std::size_t>(m.xors[k])];
+        if (!diff) continue;
+        const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+        std::vector<bool> vec(nin, false);
+        for (std::size_t i = 0; i < nin; ++i)
+          vec[i] =
+              (ev.vals[static_cast<std::size_t>(m.inputs[i])] >> lane) & 1u;
+        for (ConeReport& cr : r.cones)
+          if (cr.output == output_label(av, k)) {
+            cr.equal = false;
+            cr.vectors = static_cast<std::uint64_t>(blk + 1) * 64;
+          }
+        report_failure(k, std::move(vec));
+        return r;
+      }
+    }
+    for (ConeReport& cr : r.cones)
+      if (!cr.exhaustive)
+        cr.vectors = static_cast<std::uint64_t>(blocks) * 64;
+  }
+
+  r.equivalent = true;
+  r.proven = wide.empty();
+  r.detail = r.proven
+                 ? "equivalent (all " + std::to_string(m.xors.size()) +
+                       " cones exhaustive)"
+                 : "equivalent on " + std::to_string(opt.random_vectors) +
+                       " random vectors (" + std::to_string(wide.size()) +
+                       " cone(s) too wide for exhaustion)";
+  return r;
+}
+
+}  // namespace bibs::check

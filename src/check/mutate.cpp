@@ -1,0 +1,245 @@
+#include "check/mutate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bibs::check {
+
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+namespace {
+
+bool mutable_gate(GateType t) {
+  return !gate::is_source(t) && t != GateType::kDff;
+}
+
+/// The gate types a mutation may swap within, by arity class.
+const std::vector<GateType>& swap_class(GateType t) {
+  static const std::vector<GateType> kUnary = {GateType::kBuf, GateType::kNot};
+  static const std::vector<GateType> kNary = {
+      GateType::kAnd, GateType::kOr,  GateType::kNand,
+      GateType::kNor, GateType::kXor, GateType::kXnor};
+  return (t == GateType::kBuf || t == GateType::kNot) ? kUnary : kNary;
+}
+
+std::string gate_label(const Netlist& nl, NetId id) {
+  const gate::Gate& g = nl.gate(id);
+  return g.name.empty()
+             ? std::string(gate::to_string(g.type)) + "#" + std::to_string(id)
+             : g.name;
+}
+
+}  // namespace
+
+std::string to_string(const Netlist& nl, const Mutation& m) {
+  if (m.kind == Mutation::Kind::kGateType)
+    return gate_label(nl, m.net) + " -> " + gate::to_string(m.new_type);
+  return gate_label(nl, m.net) + ".in" + std::to_string(m.pin) +
+         " rewired to net " + std::to_string(m.new_src) + " (was " +
+         std::to_string(nl.gate(m.net).fanin[static_cast<std::size_t>(m.pin)]) +
+         ")";
+}
+
+std::optional<Mutation> random_mutation(const Netlist& nl, Xoshiro256& rng) {
+  // Only *live* gates are mutation sites: a mutant outside every output (or
+  // register D) cone is functionally equivalent by construction and would
+  // just dilute the smoke run with ground-truth "equivalent" records.
+  std::vector<char> live(nl.net_count(), 0);
+  std::vector<NetId> work;
+  auto mark = [&](NetId id) {
+    if (!live[static_cast<std::size_t>(id)]) {
+      live[static_cast<std::size_t>(id)] = 1;
+      work.push_back(id);
+    }
+  };
+  for (NetId po : nl.outputs()) mark(po);
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
+    if (nl.gate(id).type == GateType::kDff && !nl.gate(id).fanin.empty())
+      mark(nl.gate(id).fanin[0]);
+  while (!work.empty()) {
+    const NetId id = work.back();
+    work.pop_back();
+    if (nl.gate(id).type == GateType::kDff) continue;  // cut at registers
+    for (NetId f : nl.gate(id).fanin) mark(f);
+  }
+
+  std::vector<NetId> sites;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
+    if (live[static_cast<std::size_t>(id)] && mutable_gate(nl.gate(id).type))
+      sites.push_back(id);
+  if (sites.empty()) return std::nullopt;
+
+  const NetId target = sites[rng.next_below(sites.size())];
+  const gate::Gate& g = nl.gate(target);
+
+  Mutation m;
+  m.net = target;
+  if (rng.next_below(2) == 0) {
+    // Rewire one pin to a strictly lower net id. Netlist construction order
+    // is topological (add_gate enforces fanin id < gate id), so the id guard
+    // both rules out combinational cycles and keeps the rebuilt mutant
+    // constructible.
+    m.pin = static_cast<int>(rng.next_below(g.fanin.size()));
+    const NetId cur = g.fanin[static_cast<std::size_t>(m.pin)];
+    std::vector<NetId> cand;
+    for (NetId id = 0; id < target; ++id)
+      if (id != cur && nl.gate(id).type != GateType::kConst0 &&
+          nl.gate(id).type != GateType::kConst1)
+        cand.push_back(id);
+    if (!cand.empty()) {
+      m.kind = Mutation::Kind::kRewire;
+      m.new_src = cand[rng.next_below(cand.size())];
+      return m;
+    }
+    // No candidate (e.g. the very first gate, fed by its only PI): fall
+    // through to a gate-type swap.
+  }
+  m.kind = Mutation::Kind::kGateType;
+  const std::vector<GateType>& cls = swap_class(g.type);
+  GateType t;
+  do {
+    t = cls[rng.next_below(cls.size())];
+  } while (t == g.type);
+  m.new_type = t;
+  return m;
+}
+
+Netlist apply(const Netlist& nl, const Mutation& m) {
+  if (m.net < 0 || static_cast<std::size_t>(m.net) >= nl.net_count() ||
+      !mutable_gate(nl.gate(m.net).type))
+    throw DesignError("mutation targets a non-gate net");
+  if (m.kind == Mutation::Kind::kGateType) {
+    const bool was_unary = nl.gate(m.net).fanin.size() == 1;
+    const bool is_unary =
+        m.new_type == GateType::kBuf || m.new_type == GateType::kNot;
+    if (was_unary != is_unary)
+      throw DesignError("gate-type mutation crosses arity classes");
+  } else if (m.pin < 0 ||
+             static_cast<std::size_t>(m.pin) >= nl.gate(m.net).fanin.size()) {
+    throw DesignError("rewire mutation names a missing pin");
+  }
+
+  Netlist out;
+  std::vector<NetId> dffs;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const gate::Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::kInput: out.add_input(g.name); break;
+      case GateType::kConst0: out.add_const(false); break;
+      case GateType::kConst1: out.add_const(true); break;
+      case GateType::kDff:
+        out.add_dff(gate::kNoNet, g.name);
+        dffs.push_back(id);
+        break;
+      default: {
+        GateType t = g.type;
+        std::vector<NetId> fanin = g.fanin;
+        if (id == m.net) {
+          if (m.kind == Mutation::Kind::kGateType)
+            t = m.new_type;
+          else
+            fanin[static_cast<std::size_t>(m.pin)] = m.new_src;
+        }
+        out.add_gate(t, std::move(fanin), g.name);
+        break;
+      }
+    }
+  }
+  for (NetId d : dffs)
+    if (!nl.gate(d).fanin.empty()) out.set_dff_d(d, nl.gate(d).fanin[0]);
+  for (std::size_t k = 0; k < nl.outputs().size(); ++k)
+    out.mark_output(nl.outputs()[k], nl.output_names()[k]);
+  out.validate();
+  return out;
+}
+
+obs::Json MutationReport::to_json(bool include_killed) const {
+  obs::Json j = obs::Json::object();
+  j["mutants"] = obs::Json(static_cast<std::uint64_t>(mutants));
+  j["equivalents"] = obs::Json(static_cast<std::uint64_t>(equivalents));
+  j["undecided"] = obs::Json(static_cast<std::uint64_t>(undecided));
+  j["killed_by_all"] = obs::Json(static_cast<std::uint64_t>(killed_by_all));
+  j["killed_by_any"] = obs::Json(static_cast<std::uint64_t>(killed_by_any));
+  j["kill_rate"] = obs::Json(kill_rate());
+  j["strong_kill_rate"] = obs::Json(strong_kill_rate());
+  obs::Json rs = obs::Json::array();
+  for (const MutantRecord& r : records) {
+    const bool survivor = !r.equivalent && r.decided && !r.missed_by.empty();
+    if (!include_killed && !survivor && r.decided && !r.equivalent) continue;
+    obs::Json rj = obs::Json::object();
+    rj["seed"] = obs::Json(r.seed);
+    rj["site"] = obs::Json(r.site);
+    if (r.equivalent) rj["equivalent"] = obs::Json(true);
+    if (!r.decided) rj["undecided"] = obs::Json(true);
+    if (!r.missed_by.empty()) {
+      obs::Json ms = obs::Json::array();
+      for (const std::string& o : r.missed_by) ms.push_back(obs::Json(o));
+      rj["missed_by"] = std::move(ms);
+    }
+    if (include_killed && !r.killed_by.empty()) {
+      obs::Json ks = obs::Json::array();
+      for (const std::string& o : r.killed_by) ks.push_back(obs::Json(o));
+      rj["killed_by"] = std::move(ks);
+    }
+    rs.push_back(std::move(rj));
+  }
+  j["records"] = std::move(rs);
+  return j;
+}
+
+MutationReport mutation_smoke(const Netlist& nl,
+                              const std::vector<Oracle>& oracles, int count,
+                              std::uint64_t seed, const OracleContext& base) {
+  MutationReport rep;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t mseed = seed + static_cast<std::uint64_t>(i);
+    Xoshiro256 rng(mseed);
+    const std::optional<Mutation> mo = random_mutation(nl, rng);
+    if (!mo) break;  // nothing mutable in this netlist
+    const Netlist mutant = apply(nl, *mo);
+
+    MutantRecord rec;
+    rec.seed = mseed;
+    rec.site = to_string(nl, *mo);
+
+    // Ground truth before the oracles are judged: an equivalent mutant is
+    // not killable and must not count against the suite.
+    EquivOptions eopt = base.equiv;
+    eopt.seed = mseed;
+    eopt.emit_netlist = false;
+    const EquivResult eq = check_equivalence(nl, mutant, eopt);
+    if (eq.equivalent) {
+      rec.equivalent = eq.proven;
+      rec.decided = eq.proven;
+      (eq.proven ? rep.equivalents : rep.undecided) += 1;
+      rep.records.push_back(std::move(rec));
+      continue;
+    }
+
+    rep.mutants += 1;
+    OracleContext ctx = base;
+    ctx.ref = &nl;
+    ctx.impl = &mutant;
+    ctx.seed = mseed;
+    bool all = true, any = false;
+    for (const Oracle& o : oracles) {
+      const Verdict v = o.fn(ctx);
+      if (!v.pass) {
+        rec.killed_by.push_back(o.name);
+        any = true;
+      } else {
+        rec.missed_by.push_back(o.name);
+        all = false;
+      }
+    }
+    rep.killed_by_all += all ? 1 : 0;
+    rep.killed_by_any += any ? 1 : 0;
+    rep.records.push_back(std::move(rec));
+  }
+  return rep;
+}
+
+}  // namespace bibs::check

@@ -1,0 +1,30 @@
+#include "check/verdict.hpp"
+
+namespace bibs::check {
+
+obs::Json Counterexample::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["seed"] = obs::Json(seed);
+  if (!inputs.empty()) {
+    std::string bits;
+    bits.reserve(inputs.size());
+    for (bool b : inputs) bits.push_back(b ? '1' : '0');
+    j["inputs"] = obs::Json(bits);
+  }
+  if (!output.empty()) j["output"] = obs::Json(output);
+  if (!fault.empty()) j["fault"] = obs::Json(fault);
+  if (pattern >= 0) j["pattern"] = obs::Json(pattern);
+  if (!netlist_bench.empty()) j["netlist_bench"] = obs::Json(netlist_bench);
+  return j;
+}
+
+obs::Json Verdict::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["oracle"] = obs::Json(oracle);
+  j["pass"] = obs::Json(pass);
+  j["detail"] = obs::Json(detail);
+  if (cx.valid) j["counterexample"] = cx.to_json();
+  return j;
+}
+
+}  // namespace bibs::check

@@ -1,0 +1,50 @@
+#pragma once
+// Shared result types of the differential-verification subsystem: every
+// checker — miter equivalence, metamorphic oracles, mutation smoke — reports
+// through a Verdict so failures are machine-readable and *replayable*. A
+// failing check never returns a bare boolean: it carries a Counterexample
+// with the minimized input vector, the seed that produced it and (when the
+// caller asks) the offending netlist in .bench text, so any verdict in a
+// bibs_check JSON report can be reproduced outside the harness.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace bibs::check {
+
+/// A minimized, replayable witness of one oracle failure.
+struct Counterexample {
+  bool valid = false;
+  /// Seed of the run that exposed the divergence (replay entry point).
+  std::uint64_t seed = 0;
+  /// Minimized primary-input vector (comb-view PI order; DFF pseudo-inputs
+  /// follow the real PIs). Empty when the failure is structural.
+  std::vector<bool> inputs;
+  /// Diverging output (name or #index), when the failure is value-level.
+  std::string output;
+  /// Fault site (fault::to_string), for coverage-curve oracles.
+  std::string fault;
+  /// First diverging pattern index in the generator stream; -1 if n/a.
+  std::int64_t pattern = -1;
+  /// The implementation-side netlist in .bench text (replayable artifact);
+  /// empty when the caller disabled netlist emission.
+  std::string netlist_bench;
+
+  obs::Json to_json() const;
+};
+
+/// Outcome of one oracle run.
+struct Verdict {
+  std::string oracle;
+  bool pass = false;
+  /// One-line human summary (what was compared, how much was covered).
+  std::string detail;
+  Counterexample cx;
+
+  obs::Json to_json() const;
+};
+
+}  // namespace bibs::check

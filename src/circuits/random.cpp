@@ -1,5 +1,7 @@
 #include "circuits/random.hpp"
 
+#include <algorithm>
+
 #include "common/prng.hpp"
 
 namespace bibs::circuits {
@@ -82,6 +84,42 @@ Netlist make_random_circuit(const RandomCircuitOptions& opt) {
   }
   n.validate();
   return n;
+}
+
+gate::Netlist make_random_gate_netlist(const RandomGateNetlistOptions& opt) {
+  BIBS_ASSERT(opt.inputs >= 2 && opt.gates >= 1 && opt.outputs >= 1);
+  Xoshiro256 rng(opt.seed);
+  gate::Netlist nl;
+  std::vector<gate::NetId> pool;
+  for (int i = 0; i < opt.inputs; ++i)
+    pool.push_back(nl.add_input("x" + std::to_string(i)));
+
+  static constexpr gate::GateType kBinary[] = {
+      gate::GateType::kAnd, gate::GateType::kOr,  gate::GateType::kNand,
+      gate::GateType::kNor, gate::GateType::kXor, gate::GateType::kXnor};
+  for (int i = 0; i < opt.gates; ++i) {
+    if (rng.next_double() < opt.unary_probability) {
+      const gate::GateType t =
+          rng.next_below(2) ? gate::GateType::kNot : gate::GateType::kBuf;
+      pool.push_back(nl.add_gate(t, {pool[rng.next_below(pool.size())]}));
+      continue;
+    }
+    const gate::GateType t = kBinary[rng.next_below(6)];
+    std::vector<gate::NetId> fanin = {pool[rng.next_below(pool.size())],
+                                      pool[rng.next_below(pool.size())]};
+    if (rng.next_double() < opt.wide_probability)
+      fanin.push_back(pool[rng.next_below(pool.size())]);
+    pool.push_back(nl.add_gate(t, std::move(fanin)));
+  }
+
+  const std::size_t npo =
+      std::min<std::size_t>(static_cast<std::size_t>(opt.outputs),
+                            pool.size());
+  for (std::size_t i = pool.size() - npo; i < pool.size(); ++i)
+    nl.mark_output(pool[i],
+                   "y" + std::to_string(i - (pool.size() - npo)));
+  nl.validate();
+  return nl;
 }
 
 }  // namespace bibs::circuits

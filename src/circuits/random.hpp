@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "gate/netlist.hpp"
 #include "rtl/netlist.hpp"
 
 namespace bibs::circuits {
@@ -25,5 +26,24 @@ struct RandomCircuitOptions {
 /// ordered chain of comb blocks fed by 2-3 PIs through registers, random
 /// wire/register internal edges, and registered PO(s) for every sink block.
 rtl::Netlist make_random_circuit(const RandomCircuitOptions& opt);
+
+struct RandomGateNetlistOptions {
+  int inputs = 8;
+  int gates = 40;
+  int outputs = 4;
+  /// Fraction of unary (BUF/NOT) gates among the `gates`.
+  double unary_probability = 0.15;
+  /// Fraction of 3-input gates among the non-unary gates (reconvergent
+  /// fanout plus wide-gate opcodes for the generic kernel fallback).
+  double wide_probability = 0.2;
+  std::uint64_t seed = 1;
+};
+
+/// Seeded random *gate-level* combinational netlist: a validate-clean pool
+/// of AND/OR/NAND/NOR/XOR/XNOR (plus occasional BUF/NOT and 3-input) gates
+/// over earlier nets, with the last `outputs` pool nets marked as POs. The
+/// workhorse input of the bibs::check differential suite: small enough that
+/// every output cone is exhaustible, random enough to hit reconvergence.
+gate::Netlist make_random_gate_netlist(const RandomGateNetlistOptions& opt);
 
 }  // namespace bibs::circuits

@@ -49,6 +49,17 @@ std::int64_t CoverageCurve::patterns_for_fraction(double fraction) const {
   return hits[need - 1] + 1;  // pattern indices are 0-based
 }
 
+std::ptrdiff_t CoverageCurve::first_difference(
+    const CoverageCurve& other) const {
+  const std::size_t n = std::min(detected_at.size(), other.detected_at.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (detected_at[i] != other.detected_at[i])
+      return static_cast<std::ptrdiff_t>(i);
+  if (detected_at.size() != other.detected_at.size())
+    return static_cast<std::ptrdiff_t>(n);
+  return -1;
+}
+
 double CoverageCurve::coverage_after(std::int64_t patterns) const {
   if (detected_at.empty()) return 1.0;
   std::size_t n = 0;

@@ -66,6 +66,12 @@ struct CoverageCurve {
   std::int64_t patterns_for_fraction(double fraction) const;
   /// Coverage (of total faults) after the first `patterns` patterns.
   double coverage_after(std::int64_t patterns) const;
+
+  /// Index of the first fault whose first-detection record differs from
+  /// `other`'s (differing lengths compare at the shorter length's end);
+  /// -1 when the detection records are identical. The primitive the
+  /// bibs::check curve-identity oracles localize divergences with.
+  std::ptrdiff_t first_difference(const CoverageCurve& other) const;
 };
 
 class FaultSimulator {

@@ -44,6 +44,11 @@ struct SessionReport {
   /// How the run ended; anything but kFinished marks a partial report
   /// (only fully completed 63-fault batches are counted).
   rt::RunStatus status = rt::RunStatus::kFinished;
+
+  /// Bit-identity comparison over every deterministic field — the session
+  /// analogue of fault::CoverageCurve comparison, used by the bibs::check
+  /// thread-identity sweep (serial report == N-thread report).
+  bool operator==(const SessionReport&) const = default;
 };
 
 class BistSession {

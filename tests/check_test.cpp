@@ -1,0 +1,410 @@
+// bibs::check unit tests: miter construction and the per-cone equivalence
+// proof, counterexample minimality and replay, the metamorphic oracles on
+// identical and deliberately-broken pairs, the mutation harness, and the
+// exhaustiveness recheck's sensitivity to a corrupted TPG design.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "circuits/figures.hpp"
+#include "circuits/random.hpp"
+#include "common/prng.hpp"
+#include "fault/simulator.hpp"
+#include "gate/program.hpp"
+#include "gate/synth.hpp"
+#include "sim/session.hpp"
+#include "tpg/design.hpp"
+#include "tpg/exhaustive.hpp"
+#include "tpg/optimize.hpp"
+
+namespace bibs {
+namespace {
+
+using check::Counterexample;
+using check::EquivResult;
+using check::Mutation;
+using check::OracleContext;
+using check::Verdict;
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+Netlist small_random(std::uint64_t seed, int inputs = 6, int gates = 20,
+                     int outputs = 3) {
+  circuits::RandomGateNetlistOptions ro;
+  ro.inputs = inputs;
+  ro.gates = gates;
+  ro.outputs = outputs;
+  ro.seed = seed;
+  return circuits::make_random_gate_netlist(ro);
+}
+
+/// Single-vector evaluation of a combinational netlist's outputs.
+std::vector<bool> eval_outputs(const Netlist& nl,
+                               const std::vector<bool>& inputs) {
+  const std::vector<NetId> topo = nl.comb_topo_order();
+  std::vector<std::uint64_t> vals(nl.net_count(), 0);
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id)
+    if (nl.gate(id).type == GateType::kConst1)
+      vals[static_cast<std::size_t>(id)] = ~0ull;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    vals[static_cast<std::size_t>(nl.inputs()[i])] = inputs[i] ? ~0ull : 0;
+  gate::reference_eval(nl, topo, vals.data());
+  std::vector<bool> out;
+  for (NetId po : nl.outputs())
+    out.push_back(vals[static_cast<std::size_t>(po)] & 1u);
+  return out;
+}
+
+/// A mutant guaranteed inequivalent: flips the type of the first live output
+/// gate between its inverting/non-inverting partner (AND<->NAND etc.), which
+/// inverts that output on every input vector.
+Netlist inverted_output_mutant(const Netlist& nl, Mutation* out_m = nullptr) {
+  const NetId po = nl.outputs()[0];
+  const GateType t = nl.gate(po).type;
+  Mutation m;
+  m.kind = Mutation::Kind::kGateType;
+  m.net = po;
+  switch (t) {
+    case GateType::kAnd: m.new_type = GateType::kNand; break;
+    case GateType::kNand: m.new_type = GateType::kAnd; break;
+    case GateType::kOr: m.new_type = GateType::kNor; break;
+    case GateType::kNor: m.new_type = GateType::kOr; break;
+    case GateType::kXor: m.new_type = GateType::kXnor; break;
+    case GateType::kXnor: m.new_type = GateType::kXor; break;
+    case GateType::kBuf: m.new_type = GateType::kNot; break;
+    case GateType::kNot: m.new_type = GateType::kBuf; break;
+    default: ADD_FAILURE() << "output is not a mutable gate"; break;
+  }
+  if (out_m) *out_m = m;
+  return check::apply(nl, m);
+}
+
+// ---------------------------------------------------------------------------
+// combinational_view / make_miter / input_support
+
+TEST(CombinationalView, CutsRegistersIntoPseudoInputsAndOutputs) {
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId q = nl.add_dff(gate::kNoNet, "r");
+  const NetId g = nl.add_gate(GateType::kXor, {x, q}, "g");
+  nl.set_dff_d(q, g);
+  nl.mark_output(g, "y");
+  nl.validate();
+
+  const Netlist view = check::combinational_view(nl);
+  ASSERT_EQ(view.inputs().size(), 2u);   // x + pseudo-input for r
+  ASSERT_EQ(view.outputs().size(), 2u);  // y + r's D net
+  EXPECT_EQ(view.net_count(), nl.net_count());  // ids preserved
+  EXPECT_EQ(view.gate(q).type, GateType::kInput);
+  EXPECT_EQ(view.gate(g).type, GateType::kXor);
+
+  // XOR semantics survive the cut: y = x ^ r.
+  EXPECT_EQ(eval_outputs(view, {true, false})[0], true);
+  EXPECT_EQ(eval_outputs(view, {true, true})[0], false);
+}
+
+TEST(Miter, SelfMiterNeverFires) {
+  const Netlist nl = small_random(5);
+  const check::Miter m = check::make_miter(nl, nl);
+  ASSERT_EQ(m.inputs.size(), nl.inputs().size());
+  ASSERT_EQ(m.xors.size(), nl.outputs().size());
+
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> vals(m.netlist.net_count(), 0);
+  const std::vector<NetId> topo = m.netlist.comb_topo_order();
+  for (int block = 0; block < 8; ++block) {
+    for (NetId in : m.inputs)
+      vals[static_cast<std::size_t>(in)] = rng.next();
+    gate::reference_eval(m.netlist, topo, vals.data());
+    EXPECT_EQ(vals[static_cast<std::size_t>(m.out)], 0u);
+  }
+}
+
+TEST(Miter, FiresOnAnInvertedOutput) {
+  const Netlist nl = small_random(6);
+  const Netlist mut = inverted_output_mutant(nl);
+  const check::Miter m = check::make_miter(nl, mut);
+  std::vector<std::uint64_t> vals(m.netlist.net_count(), 0);
+  const std::vector<NetId> topo = m.netlist.comb_topo_order();
+  gate::reference_eval(m.netlist, topo, vals.data());
+  // Output 0 is inverted on every vector, so the miter fires on all lanes.
+  EXPECT_EQ(vals[static_cast<std::size_t>(m.out)], ~0ull);
+}
+
+TEST(Miter, RejectsMismatchedInterfaces) {
+  const Netlist a = small_random(8, /*inputs=*/6);
+  const Netlist b = small_random(8, /*inputs=*/7);
+  EXPECT_THROW(check::make_miter(a, b), DesignError);
+  const EquivResult r = check::check_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_TRUE(r.structural_mismatch);
+}
+
+TEST(Miter, InputSupportIsTheBackwardClosure) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId g = nl.add_gate(GateType::kAnd, {a, b});
+  const NetId h = nl.add_gate(GateType::kOr, {g, a});
+  nl.mark_output(h, "y");
+  nl.validate();
+  EXPECT_EQ(check::input_support(nl, h), (std::vector<NetId>{a, b}));
+  EXPECT_EQ(check::input_support(nl, c), (std::vector<NetId>{c}));
+}
+
+// ---------------------------------------------------------------------------
+// check_equivalence: proof, counterexample minimality, replay
+
+TEST(CheckEquivalence, ProvesIdenticalNetlistsExhaustively) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Netlist nl = small_random(seed);
+    const EquivResult r = check::check_equivalence(nl, nl);
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_TRUE(r.proven);
+    for (const check::ConeReport& c : r.cones) {
+      EXPECT_TRUE(c.exhaustive);
+      EXPECT_TRUE(c.equal);
+      EXPECT_EQ(c.vectors, 1ull << c.support);
+    }
+  }
+}
+
+TEST(CheckEquivalence, CounterexampleReplaysAndIsMinimal) {
+  const Netlist nl = small_random(11);
+  const Netlist mut = inverted_output_mutant(nl);
+  const EquivResult r = check::check_equivalence(nl, mut);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_TRUE(r.cx.valid);
+  ASSERT_EQ(r.cx.inputs.size(), nl.inputs().size());
+  EXPECT_FALSE(r.cx.netlist_bench.empty());
+
+  // Replay: the recorded vector separates the two netlists.
+  EXPECT_NE(eval_outputs(nl, r.cx.inputs), eval_outputs(mut, r.cx.inputs));
+
+  // 1-minimality: clearing any set bit must make the vector stop separating
+  // them (otherwise the greedy minimizer would have cleared it).
+  for (std::size_t i = 0; i < r.cx.inputs.size(); ++i) {
+    if (!r.cx.inputs[i]) continue;
+    std::vector<bool> v = r.cx.inputs;
+    v[i] = false;
+    EXPECT_EQ(eval_outputs(nl, v), eval_outputs(mut, v))
+        << "bit " << i << " was not needed";
+  }
+}
+
+TEST(CheckEquivalence, SequentialNetlistsGoThroughTheRegisterCut) {
+  const gate::Elaboration elab = gate::elaborate(circuits::make_fig2(2));
+  const EquivResult r =
+      check::check_equivalence(elab.netlist, elab.netlist);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.proven);
+}
+
+// ---------------------------------------------------------------------------
+// pattern_at: counterexample vectors replay the run_random stream
+
+TEST(PatternAt, ReconstructsTheDetectingVector) {
+  const Netlist nl = small_random(21);
+  const fault::FaultList fl = fault::FaultList::full(nl);
+  fault::FaultSimulator sim(nl, fl);
+  Xoshiro256 rng(42);
+  const fault::CoverageCurve curve = sim.run_random(rng, 256);
+
+  int checked = 0;
+  for (std::size_t k = 0; k < fl.size() && checked < 10; ++k) {
+    const std::int64_t p = curve.detected_at[k];
+    if (p < 0) continue;
+    const std::vector<bool> vec = check::pattern_at(nl, 42, p);
+    EXPECT_TRUE(sim.detects_naive(fl[k], vec))
+        << "fault " << fault::to_string(nl, fl[k]) << " at pattern " << p;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Oracles: pass on identical pairs, fail (with replayable cx) on mutants
+
+TEST(Oracles, AllPassOnIdenticalPairs) {
+  const Netlist nl = small_random(31);
+  const gate::Elaboration elab = gate::elaborate(circuits::make_fig2(2));
+  for (const Netlist* n : {&nl, &elab.netlist}) {
+    OracleContext ctx;
+    ctx.ref = n;
+    ctx.impl = n;
+    for (const check::Oracle& o : check::standard_oracles()) {
+      const Verdict v = o.fn(ctx);
+      EXPECT_TRUE(v.pass) << o.name << ": " << v.detail;
+    }
+  }
+}
+
+TEST(Oracles, EveryOracleKillsAnInvertedOutput) {
+  const Netlist nl = small_random(33);
+  const Netlist mut = inverted_output_mutant(nl);
+  OracleContext ctx;
+  ctx.ref = &nl;
+  ctx.impl = &mut;
+  ctx.seed = 9;
+  for (const check::Oracle& o : check::standard_oracles()) {
+    const Verdict v = o.fn(ctx);
+    EXPECT_FALSE(v.pass) << o.name << " missed an inverted output";
+    EXPECT_TRUE(v.cx.valid) << o.name;
+    EXPECT_EQ(v.cx.seed, 9u) << o.name;
+    EXPECT_FALSE(v.cx.netlist_bench.empty()) << o.name;
+    if (o.name == "eval_identity" || o.name == "miter_equivalence") {
+      // Value-level oracles carry a diverging input vector; replay it.
+      EXPECT_NE(eval_outputs(nl, v.cx.inputs), eval_outputs(mut, v.cx.inputs))
+          << o.name;
+    } else {
+      // Curve oracles name the diverging fault and pattern index.
+      EXPECT_FALSE(v.cx.fault.empty()) << o.name;
+      EXPECT_GE(v.cx.pattern, 0) << o.name;
+      EXPECT_EQ(v.cx.inputs.size(), nl.inputs().size()) << o.name;
+    }
+  }
+}
+
+TEST(Oracles, VerdictJsonCarriesTheCounterexample) {
+  const Netlist nl = small_random(34);
+  const Netlist mut = inverted_output_mutant(nl);
+  OracleContext ctx;
+  ctx.ref = &nl;
+  ctx.impl = &mut;
+  const Verdict v = check::eval_identity(ctx);
+  ASSERT_FALSE(v.pass);
+  const obs::Json j = v.to_json();
+  EXPECT_EQ(j.find("oracle")->str(), "eval_identity");
+  ASSERT_NE(j.find("counterexample"), nullptr);
+  const obs::Json* cx = j.find("counterexample");
+  EXPECT_NE(cx->find("inputs"), nullptr);
+  EXPECT_NE(cx->find("netlist_bench"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation harness
+
+TEST(Mutate, ApplyPreservesNetIdsAndInterface) {
+  const Netlist nl = small_random(41);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto m = check::random_mutation(nl, rng);
+    ASSERT_TRUE(m.has_value());
+    const Netlist mut = check::apply(nl, *m);
+    EXPECT_EQ(mut.net_count(), nl.net_count());
+    EXPECT_EQ(mut.inputs(), nl.inputs());
+    EXPECT_EQ(mut.outputs(), nl.outputs());
+    // Topology-only fault universes stay aligned for gate-type mutants,
+    // which is what keeps the curve oracles' fault lists comparable.
+    if (m->kind == Mutation::Kind::kGateType)
+      EXPECT_EQ(fault::FaultList::full(mut).size(),
+                fault::FaultList::full(nl).size());
+  }
+}
+
+TEST(Mutate, RejectsInapplicableMutations) {
+  const Netlist nl = small_random(42);
+  Mutation m;
+  m.kind = Mutation::Kind::kGateType;
+  m.net = nl.inputs()[0];  // inputs are not mutable sites
+  EXPECT_THROW(check::apply(nl, m), DesignError);
+}
+
+TEST(MutationSmoke, KillsEveryDecidedMutantAndRecordsSeeds) {
+  const Netlist nl = small_random(51);
+  const check::MutationReport rep =
+      check::mutation_smoke(nl, check::standard_oracles(), 20, 900);
+  EXPECT_GT(rep.mutants, 0u);
+  EXPECT_DOUBLE_EQ(rep.kill_rate(), 1.0);
+  EXPECT_GE(rep.strong_kill_rate(), 0.95);
+
+  for (const check::MutantRecord& rec : rep.records) {
+    // Every record's seed regenerates the exact mutant.
+    Xoshiro256 rng(rec.seed);
+    const auto m = check::random_mutation(nl, rng);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(check::to_string(nl, *m), rec.site);
+    if (!rec.equivalent && rec.decided)
+      EXPECT_FALSE(rec.killed_by.empty()) << rec.site;
+  }
+
+  const obs::Json j = rep.to_json();
+  EXPECT_NE(j.find("kill_rate"), nullptr);
+  EXPECT_NE(j.find("records"), nullptr);
+}
+
+TEST(MutationSmoke, EquivalentMutantsAreExcludedFromTheRate) {
+  // y = AND(x0, x0) degrades gracefully: rewiring pin 1 from x1 to x0 gives
+  // AND(x0, x0) vs OR-swap etc. Build a netlist where a known mutation is
+  // equivalent: BUF(BUF(x)) -> rewiring the outer BUF from the inner BUF to
+  // x changes structure but not function.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId b1 = nl.add_gate(GateType::kBuf, {x});
+  const NetId b2 = nl.add_gate(GateType::kBuf, {b1});
+  nl.mark_output(b2, "y");
+  nl.validate();
+  Mutation m;
+  m.kind = Mutation::Kind::kRewire;
+  m.net = b2;
+  m.pin = 0;
+  m.new_src = x;
+  const Netlist mut = check::apply(nl, m);
+  const EquivResult r = check::check_equivalence(nl, mut);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.proven);
+}
+
+// ---------------------------------------------------------------------------
+// TPG: the rank certificate notices a corrupted design
+
+TEST(TpgRecheck, RankCertificateSurvivesOptimizationAndCatchesCorruption) {
+  const auto s = tpg::GeneralizedStructure::single_cone(
+      {{"A", 2}, {"B", 2}}, {1, 2});
+  const tpg::OrderResult opt = tpg::optimize_register_order(s);
+  const tpg::ExhaustiveReport rank = tpg::check_exhaustive_rank(opt.design);
+  ASSERT_TRUE(rank.all_exhaustive);
+  // Cross-check against full-period TPG simulation.
+  if (opt.design.lfsr_stages <= 16) {
+    EXPECT_TRUE(tpg::check_exhaustive_sim(opt.design).all_exhaustive);
+  }
+
+  // Corrupt the design: two cells of one register share a label, so their
+  // first-stage offsets collide and the cone's GF(2) rank drops.
+  tpg::TpgDesign bad = opt.design;
+  ASSERT_GE(bad.cell_label[0].size(), 2u);
+  bad.cell_label[0][1] = bad.cell_label[0][0];
+  EXPECT_FALSE(tpg::check_exhaustive_rank(bad).all_exhaustive);
+}
+
+// ---------------------------------------------------------------------------
+// Supporting comparison primitives
+
+TEST(FirstDifference, LocalizesCurveDivergence) {
+  fault::CoverageCurve a, b;
+  a.detected_at = {3, -1, 7};
+  b.detected_at = {3, -1, 7};
+  EXPECT_EQ(a.first_difference(b), -1);
+  b.detected_at[1] = 5;
+  EXPECT_EQ(a.first_difference(b), 1);
+  b.detected_at = {3, -1};
+  EXPECT_EQ(a.first_difference(b), 2);  // length mismatch -> shorter end
+}
+
+TEST(SessionReport, EqualityIsFieldwise) {
+  sim::SessionReport a;
+  a.cycles = 100;
+  a.golden_signatures = {1, 2};
+  sim::SessionReport b = a;
+  EXPECT_TRUE(a == b);
+  b.detected_by_signature = 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace bibs

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "circuits/datapaths.hpp"
+#include "circuits/figures.hpp"
 #include "common/prng.hpp"
 #include "fault/fault.hpp"
 #include "fault/simulator.hpp"
@@ -118,6 +120,108 @@ TEST(FaultList, CollapsedCoverageEqualsFullCoverage) {
   const auto col = fs_col.run_exhaustive();
   EXPECT_DOUBLE_EQ(full.coverage(), 1.0);
   EXPECT_DOUBLE_EQ(col.coverage(), 1.0);
+}
+
+TEST(FaultList, DominanceChainsThroughDeepFanoutFreeStems) {
+  // g1 = AND(x, y); g2 = AND(g1, z); g3 = AND(g2, w) — a fanout-free AND
+  // chain three gates deep. Dominance must telescope: every interior stem
+  // fault is either absorbed into its consumer (s-a-0, controlling value)
+  // or dominated by that consumer's pin faults (s-a-1), so the collapsed
+  // list bottoms out at the input stems plus the primary output's s-a-0.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId y = nl.add_input("y");
+  const NetId z = nl.add_input("z");
+  const NetId w = nl.add_input("w");
+  const NetId g1 = nl.add_gate(GateType::kAnd, {x, y}, "g1");
+  const NetId g2 = nl.add_gate(GateType::kAnd, {g1, z}, "g2");
+  const NetId g3 = nl.add_gate(GateType::kAnd, {g2, w}, "g3");
+  nl.mark_output(g3, "out");
+  nl.validate();
+
+  const FaultList full = FaultList::full(nl);
+  EXPECT_EQ(full.size(), 14u);  // 7 fanout-free stems, both polarities
+
+  const FaultList col = FaultList::collapsed(nl);
+  // x/y/z/w s-a-1 (non-controlling, kept at the PI stems) + g3 s-a-0.
+  ASSERT_EQ(col.size(), 5u);
+  for (NetId pi : {x, y, z, w})
+    EXPECT_NE(std::find(col.faults().begin(), col.faults().end(),
+                        Fault{pi, -1, true}),
+              col.faults().end());
+  EXPECT_NE(std::find(col.faults().begin(), col.faults().end(),
+                      Fault{g3, -1, false}),
+            col.faults().end());
+  // No interior stem fault survives on g1/g2.
+  for (const Fault& f : col.faults()) {
+    EXPECT_NE(f.net, g1) << to_string(nl, f);
+    EXPECT_NE(f.net, g2) << to_string(nl, f);
+  }
+
+  // The theorem behind the drop: exhaustive detection stays complete.
+  FaultSimulator fs_full(nl, full);
+  FaultSimulator fs_col(nl, col);
+  EXPECT_DOUBLE_EQ(fs_full.run_exhaustive().coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(fs_col.run_exhaustive().coverage(), 1.0);
+}
+
+TEST(FaultList, CollapsingMapsThroughBufAndNotChains) {
+  // x -> NOT n1 -> AND g(n1, y) -> BUF b -> out. BUF/NOT absorb both
+  // polarities (equivalence, not dominance), so faults map through the
+  // inverter chain: x's stems collapse into n1, g's stems into b.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId y = nl.add_input("y");
+  const NetId n1 = nl.add_gate(GateType::kNot, {x}, "n1");
+  const NetId g = nl.add_gate(GateType::kAnd, {n1, y}, "g");
+  const NetId b = nl.add_gate(GateType::kBuf, {g}, "b");
+  nl.mark_output(b, "out");
+  nl.validate();
+
+  const FaultList col = FaultList::collapsed(nl);
+  // n1 s-a-1 (AND pin non-controlling), y s-a-1, b s-a-0, b s-a-1 (BUF is
+  // not a dominance site, so the buffered output keeps both polarities).
+  ASSERT_EQ(col.size(), 4u);
+  const std::vector<Fault> expect = {
+      {n1, -1, true}, {y, -1, true}, {b, -1, false}, {b, -1, true}};
+  for (const Fault& f : expect)
+    EXPECT_NE(std::find(col.faults().begin(), col.faults().end(), f),
+              col.faults().end())
+        << to_string(nl, f);
+  // x's stem faults were absorbed through the NOT, both polarities.
+  for (const Fault& f : col.faults()) EXPECT_NE(f.net, x) << to_string(nl, f);
+
+  FaultSimulator fs(nl, col);
+  EXPECT_DOUBLE_EQ(fs.run_exhaustive().coverage(), 1.0);
+}
+
+TEST(FaultList, FullSizeIsConsistentOnEveryZooCircuit) {
+  // full_size() must always report the uncollapsed universe, whatever the
+  // collapsing mode, on every elaborated zoo circuit.
+  std::vector<gate::Netlist> nls;
+  nls.push_back(gate::elaborate(circuits::make_fig2(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_fig3(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_fig4(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_fig12a(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_c5a2m(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_c3a2m(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_c4a4m(2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_fir_datapath(3, 2)).netlist);
+  nls.push_back(gate::elaborate(circuits::make_fir_datapath(6, 2)).netlist);
+  for (std::size_t i = 0; i < nls.size(); ++i) {
+    SCOPED_TRACE(i);
+    const FaultList full = FaultList::full(nls[i]);
+    const FaultList eq = FaultList::collapsed(nls[i], /*dominance=*/false);
+    const FaultList col = FaultList::collapsed(nls[i]);
+    EXPECT_EQ(full.full_size(), full.size());
+    EXPECT_EQ(eq.full_size(), full.size());
+    EXPECT_EQ(col.full_size(), full.size());
+    // Collapsing only ever shrinks, and dominance shrinks further (or ties).
+    EXPECT_LT(col.size(), full.size());
+    EXPECT_LE(col.size(), eq.size());
+    EXPECT_LE(eq.size(), full.size());
+    EXPECT_GT(col.size(), 0u);
+  }
 }
 
 TEST(Simulator, HandDetectsKnownFault) {
@@ -291,6 +395,37 @@ TEST(CoverageCurve, PatternsForFractionEdges) {
   // The documented domain is (0, 1]; outside it is an invariant violation.
   EXPECT_THROW(c.patterns_for_fraction(0.0), bibs::InternalError);
   EXPECT_THROW(c.patterns_for_fraction(1.5), bibs::InternalError);
+}
+
+TEST(CoverageCurve, PatternsForFractionTieHandling) {
+  // Many faults falling at the SAME pattern index must not push the answer
+  // past that index: the order statistic lands inside the tie run.
+  CoverageCurve c;
+  c.detected_at.assign(200, 9);  // 200-way tie at pattern 9
+  c.detected_at.push_back(50);   // one straggler
+  c.patterns_run = 64;
+  // ceil(0.995 * 201) = 200 -> the 200th detection is still inside the tie.
+  EXPECT_EQ(c.patterns_for_fraction(0.995), 10);
+  // Exactly 1.0 selects the straggler.
+  EXPECT_EQ(c.patterns_for_fraction(1.0), 51);
+  // Any mid fraction resolves to the tie value too.
+  EXPECT_EQ(c.patterns_for_fraction(0.5), 10);
+
+  // An all-tie curve answers the tie value for every fraction.
+  CoverageCurve tie;
+  tie.detected_at = {4, 4, 4, 4};
+  tie.patterns_run = 64;
+  EXPECT_EQ(tie.patterns_for_fraction(1e-9), 5);
+  EXPECT_EQ(tie.patterns_for_fraction(0.995), 5);
+  EXPECT_EQ(tie.patterns_for_fraction(1.0), 5);
+
+  // Distinct indices 0..999: 0.995 selects the 995th (index 994), exercising
+  // the ceil() boundary right below 1.0 on a large curve.
+  CoverageCurve big;
+  for (int i = 999; i >= 0; --i) big.detected_at.push_back(i);
+  big.patterns_run = 1000;
+  EXPECT_EQ(big.patterns_for_fraction(0.995), 995);
+  EXPECT_EQ(big.patterns_for_fraction(1.0), 1000);
 }
 
 TEST(Simulator, StallLimitStopsEarly) {
