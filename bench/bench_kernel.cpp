@@ -1,20 +1,32 @@
 // Compiled-kernel benchmark and bit-identity gate (docs/performance.md).
 //
-// Measures the gate::EvalProgram instruction stream against the retained
-// interpreted reference on the c5a2m data path, at two levels:
+// Measures the gate::EvalProgram instruction stream on the c5a2m data path
+// at three levels:
 //
 //   raw        gate-evals/s of a pure levelized sweep — EvalProgram::run vs
 //              gate::reference_eval on identical random source words.
+//   backends   the lane-width matrix: every compiled-in, CPU-supported
+//              gate::LaneBackend (scalar64/avx2/avx512) sweeping W*64
+//              pattern lanes per block — raw Mpatterns/s plus single-thread
+//              PPSFP fault simulation, each gated on bit-identity with the
+//              scalar64 golden backend. The SIMD acceptance criterion lives
+//              here: the widest supported backend must sweep >= 2x the raw
+//              scalar64 throughput.
 //   fault_sim  single-thread PPSFP throughput — FaultSimulator with
 //              EvalBackend::kCompiled vs kInterpreted on the same pattern
-//              stream. The acceptance criterion lives here: >= 1.5x.
+//              stream, both pinned to scalar64 (the interpreted reference
+//              has no wide path). The compiled-vs-interpreted acceptance
+//              criterion lives here: >= 1.5x.
 //
 // Every measurement doubles as an identity gate: detected_at curves, MISR
-// signatures, checkpoints, and 1-vs-4-thread session results must be
-// bit-identical between backends and thread counts, or the process exits
-// nonzero. `--check` runs only the (fast) identity gates — that mode backs
-// the check_kernel_identity ctest. `--out FILE` writes BENCH_kernel.json.
+// signatures, checkpoints, 1-vs-4-thread and wide-vs-64-lane session
+// results must be bit-identical, or the process exits nonzero. `--check`
+// runs only the (fast) identity gates — that mode backs the
+// check_kernel_identity ctests. `--lanes NAME` restricts the backend matrix
+// to scalar64 + NAME and exits 77 when the CPU lacks NAME's ISA (ctest
+// SKIP_RETURN_CODE). `--out FILE` writes BENCH_kernel.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -28,6 +40,7 @@
 #include "common/prng.hpp"
 #include "core/designer.hpp"
 #include "fault/simulator.hpp"
+#include "gate/lanes.hpp"
 #include "gate/program.hpp"
 #include "gate/synth.hpp"
 #include "obs/json.hpp"
@@ -45,6 +58,9 @@ double ms_since(Clock::time_point t0) {
 }
 
 int g_failures = 0;
+
+/// Benchmark-loop checksums land here so sweeps cannot be optimized away.
+volatile std::uint64_t g_sink = 0;
 
 void gate_check(bool ok, const std::string& what) {
   std::cerr << "  [" << (ok ? "ok" : "FAIL") << "] " << what << "\n";
@@ -75,20 +91,24 @@ struct Fixture {
   }
 };
 
+/// Seeds word j (of `words` per net) of every source net; scalar callers
+/// pass words == 1, j == 0.
 void seed_sources(const gate::Netlist& nl, Xoshiro256& rng,
-                  std::vector<std::uint64_t>& values) {
+                  std::vector<std::uint64_t>& values, std::size_t words = 1,
+                  std::size_t j = 0) {
   for (gate::NetId id = 0; static_cast<std::size_t>(id) < nl.net_count();
        ++id) {
+    const std::size_t at = static_cast<std::size_t>(id) * words + j;
     switch (nl.gate(id).type) {
       case gate::GateType::kInput:
       case gate::GateType::kDff:
-        values[static_cast<std::size_t>(id)] = rng.next();
+        values[at] = rng.next();
         break;
       case gate::GateType::kConst1:
-        values[static_cast<std::size_t>(id)] = ~0ull;
+        values[at] = ~0ull;
         break;
       default:
-        values[static_cast<std::size_t>(id)] = 0;
+        values[at] = 0;
     }
   }
 }
@@ -158,8 +178,171 @@ bool same_curve(const fault::CoverageCurve& a, const fault::CoverageCurve& b) {
   return a.patterns_run == b.patterns_run && a.detected_at == b.detected_at;
 }
 
+/// One lane backend's wide sweep must reproduce, word slice by word slice,
+/// the scalar64 sweep of the same source words.
+bool raw_slice_identity(const gate::Netlist& nl, const gate::EvalProgram& prog,
+                        const gate::LaneBackend* lb) {
+  const std::size_t w = static_cast<std::size_t>(lb->words);
+  Xoshiro256 rng(123);
+  std::vector<std::vector<std::uint64_t>> slices(w);
+  std::vector<std::uint64_t> wide(nl.net_count() * w);
+  for (std::size_t j = 0; j < w; ++j) {
+    slices[j].resize(nl.net_count());
+    seed_sources(nl, rng, slices[j]);
+    for (std::size_t n = 0; n < nl.net_count(); ++n)
+      wide[n * w + j] = slices[j][n];
+  }
+  lb->run_range(prog.view(), 0, prog.size(), wide.data());
+  const gate::LaneBackend* scalar = &gate::scalar_lane_backend();
+  for (std::size_t j = 0; j < w; ++j) {
+    scalar->run_range(prog.view(), 0, prog.size(), slices[j].data());
+    for (std::size_t n = 0; n < nl.net_count(); ++n)
+      if (wide[n * w + j] != slices[j][n]) return false;
+  }
+  return true;
+}
+
+/// The lane-width matrix: per-backend raw sweep throughput and single-thread
+/// fault-sim wall time, each gated on bit-identity with scalar64. `only`
+/// (when non-null) restricts the matrix to scalar64 + that backend.
+obs::Json bench_backends(const Fixture& fx, std::int64_t patterns, int blocks,
+                         bool measure, const gate::LaneBackend* only) {
+  const gate::Netlist& nl = fx.kernel;
+  const gate::EvalProgram prog(nl);
+  const fault::FaultList faults = fault::FaultList::collapsed(nl);
+  const gate::LaneBackend* scalar = &gate::scalar_lane_backend();
+
+  // Raw W*64-lane sweep wall time (min of 3 repeats). Sources are seeded
+  // once and one input word is flipped per block (O(1)): reseeding every
+  // source per block would drown the wide sweeps in scalar PRNG work and
+  // measure the generator, not the datapath. The sink checksum only keeps
+  // the loop alive; cross-width identity is raw_slice_identity.
+  const auto raw_ms_for = [&](const gate::LaneBackend* lb) {
+    const std::size_t w = static_cast<std::size_t>(lb->words);
+    std::vector<std::uint64_t> vals(nl.net_count() * w);
+    Xoshiro256 rng(77);
+    for (std::size_t j = 0; j < w; ++j) seed_sources(nl, rng, vals, w, j);
+    const std::vector<gate::NetId>& ins = nl.inputs();
+    std::uint64_t sink = 0;
+    double best = -1;
+    for (int r = 0; r < 3; ++r) {
+      const Clock::time_point t0 = Clock::now();
+      for (int b = 0; b < blocks; ++b) {
+        if (!ins.empty())
+          vals[static_cast<std::size_t>(ins[b % ins.size()]) * w +
+               (static_cast<std::size_t>(b) % w)] ^= 0x9e3779b97f4a7c15ull;
+        lb->run_range(prog.view(), 0, prog.size(), vals.data());
+        for (gate::NetId o : nl.outputs())
+          sink ^= vals[static_cast<std::size_t>(o) * w];
+      }
+      const double ms = ms_since(t0);
+      if (best < 0 || ms < best) best = ms;
+    }
+    g_sink = sink;
+    return best;
+  };
+
+  const auto fault_run = [&](const gate::LaneBackend* lb, double* wall_ms) {
+    fault::FaultSimulator sim(nl, faults);
+    sim.set_lane_backend(lb);
+    Xoshiro256 rng(1994);
+    const Clock::time_point t0 = Clock::now();
+    fault::CoverageCurve c = sim.run_random(
+        rng, patterns, std::numeric_limits<std::int64_t>::max());
+    if (wall_ms) *wall_ms = ms_since(t0);
+    return c;
+  };
+
+  double scalar_raw_ms = raw_ms_for(scalar);
+  double scalar_fs_ms = 0;
+  const fault::CoverageCurve base = fault_run(scalar, &scalar_fs_ms);
+  if (measure) {
+    for (int r = 1; r < 3; ++r) {
+      double ms = 0;
+      fault_run(scalar, &ms);
+      scalar_fs_ms = std::min(scalar_fs_ms, ms);
+    }
+  }
+
+  obs::Json rows = obs::Json::array();
+  const gate::LaneBackend* widest = scalar;
+  double widest_raw_speedup = 1.0;
+  for (const gate::LaneBackend* lb : gate::all_lane_backends()) {
+    if (only && lb != scalar && lb != only) continue;
+    obs::Json row = obs::Json::object();
+    row["backend"] = lb->name;
+    row["words"] = lb->words;
+    row["lanes"] = lb->lanes;
+    row["supported"] = lb->supported();
+    if (!lb->supported()) {
+      rows.push_back(std::move(row));
+      std::cerr << "  backend " << lb->name << ": not supported on this CPU\n";
+      continue;
+    }
+
+    const bool slice_ok = raw_slice_identity(nl, prog, lb);
+    gate_check(slice_ok, std::string("raw sweep word slices identical (") +
+                             lb->name + " vs scalar64)");
+
+    double raw_ms = lb == scalar ? scalar_raw_ms : raw_ms_for(lb);
+    const double mpat_s =
+        raw_ms > 0 ? static_cast<double>(blocks) * lb->lanes / (raw_ms / 1e3) /
+                         1e6
+                   : 0.0;
+    // Throughput-relative: (lanes/ms) / (64/ms_scalar64).
+    const double raw_tp_speedup =
+        scalar_raw_ms > 0 && raw_ms > 0
+            ? (lb->lanes / raw_ms) / (64.0 / scalar_raw_ms)
+            : 0.0;
+
+    double fs_ms = lb == scalar ? scalar_fs_ms : 0;
+    fault::CoverageCurve curve = base;
+    if (lb != scalar) {
+      curve = fault_run(lb, &fs_ms);
+      if (measure) {
+        for (int r = 1; r < 3; ++r) {
+          double ms = 0;
+          fault_run(lb, &ms);
+          fs_ms = std::min(fs_ms, ms);
+        }
+      }
+      gate_check(curve.detected_at == base.detected_at,
+                 std::string("fault-sim detected_at identical (") + lb->name +
+                     " vs scalar64)");
+    }
+
+    row["raw_ms"] = raw_ms;
+    row["raw_mpatterns_per_s"] = mpat_s;
+    row["raw_speedup_vs_scalar64"] = raw_tp_speedup;
+    row["fault_sim_ms"] = fs_ms;
+    row["fault_sim_speedup_vs_scalar64"] =
+        fs_ms > 0 ? scalar_fs_ms / fs_ms : 0.0;
+    row["coverage"] = curve.coverage();
+    rows.push_back(std::move(row));
+    std::cerr << "  backend " << lb->name << ": raw " << raw_ms << " ms ("
+              << mpat_s << " Mpat/s, " << raw_tp_speedup
+              << "x scalar64), fault_sim " << fs_ms << " ms\n";
+    if (lb->words > widest->words) {
+      widest = lb;
+      widest_raw_speedup = raw_tp_speedup;
+    }
+  }
+
+  // The SIMD acceptance criterion: only meaningful when the matrix includes
+  // a wide backend and we actually timed it.
+  if (measure && widest != scalar)
+    gate_check(widest_raw_speedup >= 2.0,
+               std::string("widest backend (") + widest->name +
+                   ") raw sweep >= 2x scalar64 throughput");
+
+  return rows;
+}
+
 /// Single-thread PPSFP throughput, compiled vs interpreted backend, plus the
-/// full identity gate set: curves, checkpoints, 1-vs-4-thread runs.
+/// full identity gate set: curves, checkpoints, 1-vs-4-thread runs. Both
+/// sides are pinned to the scalar64 lane backend: the interpreted reference
+/// has no wide path, and the compiled-vs-interpreted speedup criterion
+/// predates the SIMD matrix (which has its own gates in bench_backends).
 obs::Json bench_fault_sim(const Fixture& fx, std::int64_t patterns,
                           bool measure) {
   const fault::FaultList faults = fault::FaultList::collapsed(fx.kernel);
@@ -167,6 +350,7 @@ obs::Json bench_fault_sim(const Fixture& fx, std::int64_t patterns,
   const auto run = [&](fault::EvalBackend backend, int threads,
                        double* wall_ms) {
     fault::FaultSimulator sim(fx.kernel, faults, backend);
+    sim.set_lane_backend(&gate::scalar_lane_backend());
     sim.set_threads(threads);
     Xoshiro256 rng(1994);
     const Clock::time_point t0 = Clock::now();
@@ -227,23 +411,25 @@ obs::Json bench_fault_sim(const Fixture& fx, std::int64_t patterns,
 }
 
 /// BIST session identity: signatures, detection flags and checkpoints must
-/// be bit-identical at 1 and 4 threads.
+/// be bit-identical at 1 and 4 threads, and across batch lane widths.
 obs::Json bench_session(const Fixture& fx, std::int64_t cycles) {
   obs::Json row = obs::Json::object();
   if (!fx.first_kernel) {
     row["skipped"] = true;
     return row;
   }
-  const auto run = [&](int threads, rt::SessionCheckpoint* ckpt) {
+  const auto run = [&](int threads, int batch_lanes,
+                       rt::SessionCheckpoint* ckpt) {
     sim::BistSession session(fx.n, fx.elab, fx.design.bilbo,
                              *fx.first_kernel);
     session.set_threads(threads);
+    session.set_batch_lanes(batch_lanes);
     const fault::FaultList faults = session.kernel_faults();
     return session.run(faults, cycles, {}, nullptr, ckpt);
   };
   rt::SessionCheckpoint ck1, ck4;
-  const sim::SessionReport r1 = run(1, &ck1);
-  const sim::SessionReport r4 = run(4, &ck4);
+  const sim::SessionReport r1 = run(1, 64, &ck1);
+  const sim::SessionReport r4 = run(4, 64, &ck4);
   gate_check(r1.golden_signatures == r4.golden_signatures,
              "session MISR signatures identical (1 vs 4 threads)");
   gate_check(r1.detected_at_outputs == r4.detected_at_outputs &&
@@ -252,6 +438,12 @@ obs::Json bench_session(const Fixture& fx, std::int64_t cycles) {
              "session detection counts identical (1 vs 4 threads)");
   gate_check(ck1.to_json().dump() == ck4.to_json().dump(),
              "session checkpoints identical (1 vs 4 threads)");
+  const gate::LaneBackend& active = gate::active_lane_backend();
+  if (active.words > 1) {
+    const sim::SessionReport rw = run(1, active.lanes, nullptr);
+    gate_check(rw == r1, std::string("session reports identical (") +
+                             active.name + " vs 64-lane batches)");
+  }
   row["cycles"] = cycles;
   row["signatures"] = static_cast<std::int64_t>(r1.golden_signatures.size());
   row["detected_by_signature"] =
@@ -262,7 +454,7 @@ obs::Json bench_session(const Fixture& fx, std::int64_t cycles) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path;
+  std::string out_path, lanes_name;
   bool check_only = false;
   // Table 2 of the paper applies 2^16 patterns to these kernels; 8192 keeps
   // the bench fast while staying in the regime where the random-resistant
@@ -281,19 +473,42 @@ int main(int argc, char** argv) {
     };
     if (arg == "--out") out_path = value();
     else if (arg == "--check") check_only = true;
+    else if (arg == "--lanes") lanes_name = value();
     else if (arg == "--patterns") patterns = std::stoll(value());
     else if (arg == "--cycles") cycles = std::stoll(value());
     else if (arg == "--blocks") blocks = std::stoi(value());
     else {
       std::cerr << "usage: bench_kernel [--out FILE] [--check]"
+                   " [--lanes scalar64|avx2|avx512]"
                    " [--patterns N] [--cycles N] [--blocks N]\n";
       return arg == "--help" || arg == "-h" ? 0 : 64;
     }
+  }
+  const gate::LaneBackend* only = nullptr;
+  if (!lanes_name.empty()) {
+    only = gate::find_lane_backend(lanes_name);
+    if (!only) {
+      std::cerr << "unknown lane backend '" << lanes_name
+                << "' (compiled in:";
+      for (const gate::LaneBackend* lb : gate::all_lane_backends())
+        std::cerr << " " << lb->name;
+      std::cerr << ")\n";
+      return 64;
+    }
+    if (!only->supported()) {
+      // ctest SKIP_RETURN_CODE: the backend is compiled in but this CPU
+      // cannot run it — a skip, not a failure.
+      std::cerr << "lane backend '" << lanes_name
+                << "' is not supported on this CPU; skipping\n";
+      return 77;
+    }
+    gate::set_lane_backend(only);
   }
   if (check_only) {
     // Identity gates only: smaller workloads, no timing thresholds.
     patterns = std::min<std::int64_t>(patterns, 512);
     cycles = std::min<std::int64_t>(cycles, 128);
+    blocks = std::min(blocks, 16);
   }
 
   const Fixture fx;
@@ -302,7 +517,7 @@ int main(int argc, char** argv) {
 
   obs::Json doc = obs::Json::object();
   doc["kind"] = "bibs.kernel_bench";
-  doc["version"] = 1;
+  doc["version"] = 2;
 #ifdef BIBS_NATIVE_ENABLED
   doc["native"] = true;
 #else
@@ -310,8 +525,10 @@ int main(int argc, char** argv) {
 #endif
   doc["git"] = obs::Report::collect().git_describe;
   doc["circuit"] = "c5a2m";
+  doc["active_lanes"] = gate::active_lane_backend().name;
 
   if (!check_only) doc["raw"] = bench_raw(fx, blocks);
+  doc["backends"] = bench_backends(fx, patterns, blocks, !check_only, only);
   doc["fault_sim"] = bench_fault_sim(fx, patterns, !check_only);
   doc["session"] = bench_session(fx, cycles);
 

@@ -6,7 +6,8 @@
 # Produces, in out-dir (default: the current directory):
 #   BENCH_parallel.json        thread-scaling of the parallel engines plus
 #                              wall time / exit status of every table bench
-#   BENCH_kernel.json          compiled vs interpreted gate-evaluation kernel
+#   BENCH_kernel.json          gate-evaluation kernel: compiled vs
+#                              interpreted plus the SIMD lane-width matrix
 #                              (throughput + bit-identity gates)
 #   BENCH_bench_<name>.json    per-bench obs run report (metrics snapshot)
 #
@@ -15,6 +16,8 @@
 #   BIBS_BENCH_REPEAT    repetitions per configuration (default 3; min kept)
 #   BIBS_BENCH_PATTERNS  fault-sim patterns per run    (default 4096)
 #   BIBS_BENCH_CYCLES    session/CSTP emulated cycles  (default 1024)
+#   BIBS_LANES           pin one lane backend (scalar64|avx2|avx512) for the
+#                        whole layer; default: widest the CPU supports
 #
 # See docs/performance.md for the methodology and the JSON schema.
 set -eu
@@ -30,8 +33,10 @@ if [ ! -x "$runner" ]; then
 fi
 mkdir -p "$out"
 
-# Compiled-kernel bench first: it exits nonzero if any bit-identity gate
-# fails, aborting the run before the (longer) scaling section.
+# Compiled-kernel bench first: it measures every compiled-in lane backend
+# (the BENCH_kernel.json "backends" matrix) and exits nonzero if any
+# bit-identity gate fails, aborting the run before the (longer) scaling
+# section.
 "$build/bench/bench_kernel" --out "$out/BENCH_kernel.json"
 
 exec "$runner" \

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/prng.hpp"
 #include "gate/bench_format.hpp"
+#include "gate/lanes.hpp"
 #include "gate/program.hpp"
 
 namespace bibs::check {
@@ -145,27 +146,44 @@ std::string output_label(const Netlist& nl, std::size_t k) {
   return n.empty() ? "#" + std::to_string(k) : n;
 }
 
-/// One compiled evaluation context over the miter netlist.
+/// One compiled evaluation context over the miter netlist, running on the
+/// active lane backend: values are W-strided (net n at words [n*W, n*W+W))
+/// and each sweep evaluates W*64 input vectors, so exhaustive cone proofs
+/// advance in W*64-pattern strides.
 struct MiterEval {
   const Miter* m;
+  const gate::LaneBackend* lane;
+  std::size_t w;  // words per net (lane->words)
   gate::EvalProgram prog;
   std::vector<std::uint64_t> vals;
 
   explicit MiterEval(const Miter& mm)
-      : m(&mm), prog(mm.netlist), vals(mm.netlist.net_count(), 0) {}
+      : m(&mm),
+        lane(&gate::active_lane_backend()),
+        w(static_cast<std::size_t>(lane->words)),
+        prog(mm.netlist),
+        vals(mm.netlist.net_count() * w, 0) {}
+
+  std::uint64_t* words(NetId n) {
+    return vals.data() + static_cast<std::size_t>(n) * w;
+  }
 
   void sweep() {
-    for (NetId c : prog.const1_nets())
-      vals[static_cast<std::size_t>(c)] = ~0ull;
-    prog.run(vals.data());
+    for (NetId c : prog.const1_nets()) {
+      std::uint64_t* v = words(c);
+      for (std::size_t j = 0; j < w; ++j) v[j] = ~0ull;
+    }
+    lane->run_range(prog.view(), 0, prog.size(), vals.data());
   }
 
   /// Single replicated vector; returns the xor-net bit.
   bool differs(std::size_t cone, const std::vector<bool>& v) {
-    for (std::size_t i = 0; i < m->inputs.size(); ++i)
-      vals[static_cast<std::size_t>(m->inputs[i])] = v[i] ? ~0ull : 0ull;
+    for (std::size_t i = 0; i < m->inputs.size(); ++i) {
+      std::uint64_t* in = words(m->inputs[i]);
+      for (std::size_t j = 0; j < w; ++j) in[j] = v[i] ? ~0ull : 0ull;
+    }
     sweep();
-    return vals[static_cast<std::size_t>(m->xors[cone])] & 1u;
+    return *words(m->xors[cone]) & 1u;
   }
 };
 
@@ -251,30 +269,48 @@ EquivResult check_equivalence(const Netlist& a, const Netlist& b,
     cr.exhaustive = true;
     const std::uint64_t total = 1ull << cr.support;
     cr.vectors = total;
-    for (NetId in : m.inputs) ev.vals[static_cast<std::size_t>(in)] = 0;
-    for (std::uint64_t base = 0; base < total; base += 64) {
-      const unsigned lanes =
-          static_cast<unsigned>(std::min<std::uint64_t>(64, total - base));
+    for (NetId in : m.inputs) {
+      std::uint64_t* v = ev.words(in);
+      for (std::size_t j = 0; j < ev.w; ++j) v[j] = 0;
+    }
+    // W*64 vectors per sweep; the first diverging pattern index is found by
+    // an ascending word-then-bit scan, so it is the globally smallest one
+    // whatever the backend width.
+    const std::uint64_t block = static_cast<std::uint64_t>(ev.lane->lanes);
+    for (std::uint64_t base = 0; base < total; base += block) {
+      const std::uint64_t lanes = std::min<std::uint64_t>(block, total - base);
       for (std::size_t i = 0; i < support.size(); ++i) {
-        std::uint64_t w = 0;
-        for (unsigned l = 0; l < lanes; ++l)
-          w |= (((base + l) >> i) & 1u) << l;
-        ev.vals[static_cast<std::size_t>(support[i])] = w;
+        std::uint64_t* v = ev.words(support[i]);
+        for (std::size_t j = 0; j < ev.w; ++j) {
+          const std::uint64_t lo = static_cast<std::uint64_t>(j) * 64;
+          const std::uint64_t n =
+              lo < lanes ? std::min<std::uint64_t>(64, lanes - lo) : 0;
+          std::uint64_t word = 0;
+          for (std::uint64_t l = 0; l < n; ++l)
+            word |= (((base + lo + l) >> i) & 1u) << l;
+          v[j] = word;
+        }
       }
       ev.sweep();
-      const std::uint64_t mask =
-          lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
-      const std::uint64_t diff =
-          ev.vals[static_cast<std::size_t>(m.xors[k])] & mask;
-      if (diff) {
-        const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+      const std::uint64_t* diffw = ev.words(m.xors[k]);
+      std::uint64_t hit = total;  // pattern index of the first divergence
+      for (std::size_t j = 0; j < ev.w && hit == total; ++j) {
+        const std::uint64_t lo = static_cast<std::uint64_t>(j) * 64;
+        if (lo >= lanes) break;
+        const std::uint64_t n = std::min<std::uint64_t>(64, lanes - lo);
+        const std::uint64_t mask = n == 64 ? ~0ull : ((1ull << n) - 1);
+        if (const std::uint64_t diff = diffw[j] & mask; diff)
+          hit = base + lo +
+                static_cast<std::uint64_t>(std::countr_zero(diff));
+      }
+      if (hit != total) {
         std::vector<bool> vec(nin, false);
         for (std::size_t i = 0; i < support.size(); ++i) {
           // Map the support-local pattern index back to full PI positions.
           const std::size_t pos = static_cast<std::size_t>(
               std::find(m.inputs.begin(), m.inputs.end(), support[i]) -
               m.inputs.begin());
-          vec[pos] = ((base + lane) >> i) & 1u;
+          vec[pos] = (hit >> i) & 1u;
         }
         cr.equal = false;
         r.cones.push_back(cr);
@@ -289,18 +325,22 @@ EquivResult check_equivalence(const Netlist& a, const Netlist& b,
     Xoshiro256 rng(opt.seed);
     const std::int64_t blocks = (opt.random_vectors + 63) / 64;
     for (std::int64_t blk = 0; blk < blocks; ++blk) {
-      for (NetId in : m.inputs)
-        ev.vals[static_cast<std::size_t>(in)] = rng.next();
+      // One rng word per input, broadcast across the backend's W words, and
+      // detection read from word 0 only: the PRNG stream, vector count and
+      // any counterexample stay bit-identical to the scalar64 backend.
+      for (NetId in : m.inputs) {
+        const std::uint64_t rw = rng.next();
+        std::uint64_t* v = ev.words(in);
+        for (std::size_t j = 0; j < ev.w; ++j) v[j] = rw;
+      }
       ev.sweep();
       for (std::size_t k : wide) {
-        const std::uint64_t diff =
-            ev.vals[static_cast<std::size_t>(m.xors[k])];
+        const std::uint64_t diff = *ev.words(m.xors[k]);
         if (!diff) continue;
         const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
         std::vector<bool> vec(nin, false);
         for (std::size_t i = 0; i < nin; ++i)
-          vec[i] =
-              (ev.vals[static_cast<std::size_t>(m.inputs[i])] >> lane) & 1u;
+          vec[i] = (*ev.words(m.inputs[i]) >> lane) & 1u;
         for (ConeReport& cr : r.cones)
           if (cr.output == output_label(av, k)) {
             cr.equal = false;

@@ -67,6 +67,12 @@ Verdict checkpoint_splice_identity(const OracleContext& ctx);
 /// Compiled-backend curve of impl == interpreted-backend curve of ref.
 Verdict backend_curve_identity(const OracleContext& ctx);
 
+/// Active-lane-backend (possibly SIMD-wide) curve of impl == scalar64 curve
+/// of ref. Compares detected_at only: patterns_run legitimately differs
+/// across widths when every fault is detected (or the run stalls) inside a
+/// wide block. A no-op self-check when the host resolves to scalar64.
+Verdict lane_curve_identity(const OracleContext& ctx);
+
 /// The standard suite, in the order above.
 const std::vector<Oracle>& standard_oracles();
 

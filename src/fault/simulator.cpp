@@ -70,22 +70,53 @@ double CoverageCurve::coverage_after(std::int64_t patterns) const {
 
 FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults,
                                EvalBackend backend)
-    : nl_(&nl), faults_(std::move(faults)), backend_(backend), prog_(nl) {
+    : nl_(&nl),
+      faults_(std::move(faults)),
+      backend_(backend),
+      // The interpreted golden path predates the wide datapath and stays
+      // one word wide; the compiled path captures the dispatched backend.
+      lane_(backend == EvalBackend::kInterpreted
+                ? &gate::scalar_lane_backend()
+                : &gate::active_lane_backend()),
+      prog_(nl) {
   BIBS_ASSERT(nl.dffs().empty());  // combinational netlists only
   topo_ = nl.comb_topo_order();
   const std::size_t n = nl.net_count();
   observed_.assign(n, 0);
   for (NetId o : nl.outputs()) observed_[static_cast<std::size_t>(o)] = 1;
-  good_.assign(n, 0);
-  // Constant nets never change: set them once here instead of rescanning
-  // the whole netlist per block (the interpreted reference still rescans).
-  for (NetId c : prog_.const1_nets()) good_[static_cast<std::size_t>(c)] = ~0ull;
+  reset_good_values();
+}
+
+void FaultSimulator::set_lane_backend(const gate::LaneBackend* backend) {
+  BIBS_ASSERT(backend != nullptr);
+  if (!backend->supported())
+    throw DesignError("lane backend " + std::string(backend->name) +
+                      " is not supported by this CPU");
+  if (backend_ == EvalBackend::kInterpreted && backend->words != 1)
+    throw DesignError(
+        "the interpreted reference backend is scalar-only; cannot widen it "
+        "to " + std::string(backend->name));
+  lane_ = backend;
+  reset_good_values();
+}
+
+void FaultSimulator::reset_good_values() {
+  const std::size_t w = static_cast<std::size_t>(lane_->words);
+  good_.assign(nl_->net_count() * w, 0);
+  // Constant nets never change: set every word of them once here instead of
+  // rescanning the whole netlist per block (the interpreted reference still
+  // rescans).
+  for (NetId c : prog_.const1_nets())
+    for (std::size_t j = 0; j < w; ++j)
+      good_[static_cast<std::size_t>(c) * w + j] = ~0ull;
 }
 
 void FaultSimulator::good_eval(const std::uint64_t* in_words) {
+  const std::size_t w = static_cast<std::size_t>(lane_->words);
   const auto& ins = nl_->inputs();
   for (std::size_t i = 0; i < ins.size(); ++i)
-    good_[static_cast<std::size_t>(ins[i])] = in_words[i];
+    for (std::size_t j = 0; j < w; ++j)
+      good_[static_cast<std::size_t>(ins[i]) * w + j] = in_words[i * w + j];
   if (backend_ == EvalBackend::kInterpreted) {
     // Retained reference path: full-net constant rescan plus the generic
     // per-gate-vector sweep, byte-for-byte the pre-EvalProgram loop.
@@ -95,7 +126,7 @@ void FaultSimulator::good_eval(const std::uint64_t* in_words) {
     gate::reference_eval(*nl_, topo_, good_.data());
     return;
   }
-  prog_.run(good_.data());
+  lane_->run_range(prog_.view(), 0, prog_.size(), good_.data());
 }
 
 std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes,
@@ -123,72 +154,6 @@ std::uint64_t FaultSimulator::propagate(const Fault& f, int valid_lanes,
   const std::uint64_t stuck_word = f.stuck ? ~0ull : 0ull;
   const std::uint32_t inj_instr =
       f.pin >= 0 ? prog_.instr_of(f.net) : gate::EvalProgram::kNoInstr;
-
-  if (backend_ == EvalBackend::kCompiled) {
-    // Dirty-bitmask worklist: instruction indices are a topological order
-    // (consumers follow producers in the stream), so scheduling is one
-    // idempotent OR and popping is countr_zero on an ascending bit scan.
-    // Three facts keep the per-event work minimal:
-    //  - every net is written at most once per sweep (ascending topological
-    //    order), so a changed net can be recorded without comparing against
-    //    good first, and detection falls out of the changed list at the end;
-    //  - the injection instruction can never be re-marked (its fan-ins are
-    //    strictly upstream of the cone), so no per-event skip is needed;
-    //  - the current word is kept in a register and only spilled marks go
-    //    through memory, so there is no load/store chain on dirty[wi].
-    const gate::ProgramView pv = prog_.view();
-    const std::uint64_t injected =
-        f.pin < 0 ? stuck_word
-                  : pv.eval_one_forced(inj_instr, cur, f.pin, stuck_word);
-    if (cur[static_cast<std::size_t>(f.net)] == injected) return 0;
-    cur[static_cast<std::size_t>(f.net)] = injected;
-
-    NetId* chg = s.changed.data();
-    std::size_t nchg = 0;
-    chg[nchg++] = f.net;
-
-    std::uint64_t* dirty = s.dirty.data();
-    const std::size_t nwords = s.dirty.size();
-    std::size_t wlo = nwords;
-    for (const std::uint32_t* p = pv.fo + pv.fo_off[f.net],
-                            * pe = pv.fo + pv.fo_off[f.net + 1];
-         p != pe; ++p) {
-      const std::size_t w = *p >> 6;
-      dirty[w] |= 1ull << (*p & 63);
-      if (w < wlo) wlo = w;
-    }
-
-    for (std::size_t wi = wlo; wi < nwords; ++wi) {
-      std::uint64_t w = dirty[wi];
-      dirty[wi] = 0;
-      while (w != 0) {
-        const std::uint32_t ii = static_cast<std::uint32_t>(
-            (wi << 6) + static_cast<std::size_t>(std::countr_zero(w)));
-        w &= w - 1;
-        const std::uint64_t v = pv.eval_one(ii, cur);
-        const NetId id = pv.out[ii];
-        if (cur[static_cast<std::size_t>(id)] == v) continue;
-        cur[static_cast<std::size_t>(id)] = v;
-        chg[nchg++] = id;
-        for (const std::uint32_t* p = pv.fo + pv.fo_off[id],
-                                * pe = pv.fo + pv.fo_off[id + 1];
-             p != pe; ++p) {
-          const std::uint32_t c = *p;
-          if ((c >> 6) == wi)
-            w |= 1ull << (c & 63);
-          else
-            dirty[c >> 6] |= 1ull << (c & 63);
-        }
-      }
-    }
-
-    for (std::size_t k = 0; k < nchg; ++k) {
-      const std::size_t c = static_cast<std::size_t>(chg[k]);
-      if (observed[c]) detect |= (cur[c] ^ good[c]) & lane_mask;
-      cur[c] = good[c];
-    }
-    return detect;
-  }
 
   s.changed.clear();
   // Interpreted: the retained pre-compilation event loop — per-level
@@ -280,11 +245,15 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
   BIBS_GAUGE_SET(g_faults_full, faults_.full_size() > 0 ? faults_.full_size()
                                                         : faults_.size());
 
+  // Lane-backend geometry of this run: W words = W * 64 patterns per block.
+  const std::size_t w = static_cast<std::size_t>(lane_->words);
+  const int block_patterns = lane_->lanes;
+
   par::ThreadPool pool(threads_);
   BIBS_GAUGE_SET(g_threads, pool.threads());
   std::vector<Scratch> scratch(static_cast<std::size_t>(pool.threads()));
   for (Scratch& s : scratch) {
-    s.cur.assign(nl_->net_count(), 0);
+    s.cur.assign(nl_->net_count() * w, 0);
     // The compiled sweep writes changed nets through a raw cursor (each net
     // changes at most once per fault, so net_count bounds the count).
     s.changed.assign(nl_->net_count(), 0);
@@ -312,10 +281,13 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
   for (std::size_t i = 0; i < faults_.size(); ++i)
     if (curve.detected_at[i] == CoverageCurve::kUndetected) live.push_back(i);
 
-  std::vector<std::uint64_t> in_words(std::max<std::size_t>(
-      nl_->inputs().size(), 1));
-  std::vector<std::uint64_t> block_det;  // per live fault, one block
-  block_det.reserve(live.size());
+  const std::size_t nin = nl_->inputs().size();
+  // One 64-lane generator sub-block, scattered into the W-strided in_words.
+  std::vector<std::uint64_t> gen_words(std::max<std::size_t>(nin, 1));
+  std::vector<std::uint64_t> in_words(std::max<std::size_t>(nin, 1) * w, 0);
+  std::vector<std::uint64_t> lane_mask(w, 0);
+  std::vector<std::uint64_t> block_det;  // W words per live fault, one block
+  block_det.reserve(live.size() * w);
   std::int64_t base = resume ? resume->patterns_run : 0;
   std::int64_t last_new_detection = 0;
   for (std::int64_t d : curve.detected_at)
@@ -340,17 +312,46 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
     progress_(p);
   };
 
-  while (base < max_patterns && !live.empty()) {
+  bool gen_done = false;
+  while (!gen_done && base < max_patterns && !live.empty()) {
     if (const rt::RunStatus st = ctl.interruption(base);
         st != rt::RunStatus::kFinished) {
       curve.status = st;
       break;
     }
-    const int lanes_wanted = static_cast<int>(
-        std::min<std::int64_t>(64, max_patterns - base));
-    int lanes = gen(in_words.data());
+    // Gather up to W generator sub-blocks (64 lanes each, called in
+    // ascending pattern order — the stream is identical at every width). A
+    // short sub-block closes this block so lane indices keep the invariant
+    // pattern == base + word * 64 + bit.
+    const std::int64_t wanted =
+        std::min<std::int64_t>(block_patterns, max_patterns - base);
+    int lanes = 0;
+    for (std::size_t j = 0; static_cast<std::int64_t>(j) * gate::kLanesPerWord
+                            < wanted; ++j) {
+      int sub = gen(gen_words.data());
+      if (sub <= 0) {
+        gen_done = true;
+        break;
+      }
+      sub = static_cast<int>(std::min<std::int64_t>(sub, wanted - lanes));
+      for (std::size_t i = 0; i < nin; ++i) in_words[i * w + j] = gen_words[i];
+      lanes += sub;
+      if (sub < gate::kLanesPerWord) break;
+    }
     if (lanes <= 0) break;
-    lanes = std::min(lanes, lanes_wanted);
+    // Zero the ungathered tail words so short blocks stay deterministic
+    // (their lanes are masked out of detection either way).
+    for (std::size_t j = (static_cast<std::size_t>(lanes) +
+                          gate::kLanesPerWord - 1) / gate::kLanesPerWord;
+         j < w; ++j)
+      for (std::size_t i = 0; i < nin; ++i) in_words[i * w + j] = 0;
+    for (std::size_t j = 0; j < w; ++j) {
+      const std::int64_t rem =
+          lanes - static_cast<std::int64_t>(j) * gate::kLanesPerWord;
+      lane_mask[j] = rem >= gate::kLanesPerWord ? ~0ull
+                     : rem <= 0                 ? 0
+                               : ((1ull << rem) - 1);
+    }
 
     good_eval(in_words.data());
 
@@ -359,25 +360,47 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
     // per-fault detection words into disjoint block_det slots, and the merge
     // below walks them in fault-list order — so curve/stall state evolves
     // exactly as in a serial run whatever the thread count.
-    block_det.resize(live.size());
+    block_det.resize(live.size() * w);
     pool.parallel_for_chunks(
         live.size(), [&](int chunk, std::size_t b, std::size_t e) {
           if (b == e) return;
           Scratch& s = scratch[static_cast<std::size_t>(chunk)];
           s.cur = good_;
-          for (std::size_t li = b; li < e; ++li)
-            block_det[li] = propagate(faults_[live[li]], lanes, s);
+          if (backend_ == EvalBackend::kCompiled) {
+            const gate::LanePropagateCtx ctx{
+                prog_.view(),     prog_.size(),   good_.data(),
+                s.cur.data(),     observed_.data(), s.dirty.data(),
+                lane_mask.data()};
+            for (std::size_t li = b; li < e; ++li) {
+              const Fault& f = faults_[live[li]];
+              const gate::LaneFaultSite site{
+                  f.net, f.pin,
+                  f.pin >= 0 ? prog_.instr_of(f.net)
+                             : gate::EvalProgram::kNoInstr,
+                  f.stuck};
+              lane_->propagate(ctx, site, s.changed.data(),
+                               block_det.data() + li * w);
+            }
+          } else {
+            for (std::size_t li = b; li < e; ++li)
+              block_det[li] = propagate(faults_[live[li]], lanes, s);
+          }
         });
 
     std::size_t keep = 0;
     const std::size_t live_before = live.size();
     for (std::size_t li = 0; li < live.size(); ++li) {
       const std::size_t fi = live[li];
-      const std::uint64_t det = block_det[li];
-      if (det) {
+      const std::uint64_t* det = block_det.data() + li * w;
+      std::size_t jw = 0;
+      while (jw < w && det[jw] == 0) ++jw;
+      if (jw < w) {
+        // Words ascending, bits ascending — the first detecting pattern,
+        // which is the same index every lane width computes.
         curve.detected_at[fi] =
-            base + std::countr_zero(det);
-        last_new_detection = base + std::countr_zero(det);
+            base + static_cast<std::int64_t>(jw) * gate::kLanesPerWord +
+            std::countr_zero(det[jw]);
+        last_new_detection = curve.detected_at[fi];
       } else {
         live[keep++] = fi;
       }
@@ -412,7 +435,7 @@ CoverageCurve FaultSimulator::run_random(Xoshiro256& rng,
   return run(
       [&](std::uint64_t* words) {
         for (std::size_t i = 0; i < nin; ++i) words[i] = rng.next();
-        return 64;
+        return gate::kLanesPerWord;
       },
       max_patterns, stall_limit, ctl, resume);
 }
@@ -430,11 +453,11 @@ CoverageCurve FaultSimulator::run_weighted(Xoshiro256& rng,
       [&, one_probability](std::uint64_t* words) {
         for (std::size_t i = 0; i < nin; ++i) {
           std::uint64_t w = 0;
-          for (int b = 0; b < 64; ++b)
+          for (int b = 0; b < gate::kLanesPerWord; ++b)
             if (rng.next_double() < one_probability) w |= 1ull << b;
           words[i] = w;
         }
-        return 64;
+        return gate::kLanesPerWord;
       },
       max_patterns, stall_limit, ctl, resume);
 }
@@ -447,8 +470,8 @@ CoverageCurve FaultSimulator::run_exhaustive(const rt::RunControl& ctl,
   std::int64_t next = resume ? resume->patterns_run : 0;
   return run(
       [&](std::uint64_t* words) {
-        const int lanes =
-            static_cast<int>(std::min<std::int64_t>(64, total - next));
+        const int lanes = static_cast<int>(
+            std::min<std::int64_t>(gate::kLanesPerWord, total - next));
         if (lanes <= 0) return 0;
         for (std::size_t i = 0; i < nin; ++i) {
           std::uint64_t w = 0;

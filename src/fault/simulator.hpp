@@ -1,10 +1,22 @@
 #pragma once
 // Parallel-pattern single-fault-propagation (PPSFP) stuck-at fault simulator.
 //
-// Good-circuit values for a block of 64 patterns are computed with one
-// levelized sweep; each still-undetected fault is then injected and
+// Good-circuit values for a block of W*64 patterns (W = the active
+// gate::LaneBackend's word count; 64 patterns on scalar64) are computed with
+// one levelized sweep; each still-undetected fault is then injected and
 // propagated event-driven through its fanout cone only. Detected faults are
 // dropped. This is the engine behind the paper's Table 2 coverage numbers.
+//
+// Lane widths: the compiled backend runs on the lane backend captured at
+// construction (gate::active_lane_backend(); override per instance with
+// set_lane_backend). detected_at curves are bit-identical across widths —
+// a still-live fault's first detecting pattern inside a wider block is its
+// globally first detecting pattern, and the pattern stream is
+// width-invariant because the generator fills 64 lanes per call in scalar
+// order. patterns_run MAY differ across widths when every fault is detected
+// (or the stall limit fires) mid-block, because the loop only re-checks
+// liveness at block boundaries; width-identity gates therefore compare
+// curves on runs that exhaust their pattern budget.
 //
 // The simulator operates on purely combinational netlists — for sequential
 // balanced kernels, pass gate::combinational_kernel() output (valid by the
@@ -25,6 +37,7 @@
 
 #include "common/prng.hpp"
 #include "fault/fault.hpp"
+#include "gate/lanes.hpp"
 #include "gate/netlist.hpp"
 #include "gate/program.hpp"
 #include "obs/progress.hpp"
@@ -83,16 +96,20 @@ class FaultSimulator {
   const gate::Netlist& netlist() const { return *nl_; }
   const FaultList& faults() const { return faults_; }
 
-  /// Fills the 64 pattern lanes for one block: words[i] is the word for
-  /// primary input i (nl.inputs()[i]); returns the number of valid lanes
-  /// (1..64); returning 0 ends the run early.
+  /// Fills 64 pattern lanes: words[i] is the word for primary input i
+  /// (nl.inputs()[i]); returns the number of valid lanes (1..64); returning
+  /// 0 ends the run early. On a wide backend run() calls the generator up
+  /// to W times per block — in ascending pattern order, exactly as the
+  /// scalar64 backend would — and a short return (< 64 lanes) closes the
+  /// block, so the stream a generator produces is width-invariant.
   using PatternBlockFn = std::function<int(std::uint64_t* words)>;
 
   /// Runs up to max_patterns from the generator. Stops early when all faults
   /// are detected or when `stall_limit` consecutive patterns bring no new
-  /// detection. `ctl` is polled once per 64-pattern block: an interrupted
-  /// run stops within one block and returns a partial curve whose `status`
-  /// says why. `resume` (when non-null) continues a checkpointed run:
+  /// detection. `ctl` is polled once per block (W*64 patterns): an
+  /// interrupted run stops within one block and returns a partial curve
+  /// whose `status` says why. `resume` (when non-null) continues a
+  /// checkpointed run:
   /// detection state and pattern position are restored and, driven by the
   /// same generator stream, the final curve is bit-exactly the one an
   /// uninterrupted run would have produced.
@@ -138,9 +155,19 @@ class FaultSimulator {
   /// Installs a progress callback invoked from run() roughly every
   /// `every_patterns` simulated patterns and once more when the run ends.
   /// Pass an empty function to disable. The cadence is block-granular
-  /// (64-pattern blocks), never the inner fault loop; callbacks always fire
-  /// on the thread that called run(), regardless of set_threads.
+  /// (W*64-pattern blocks), never the inner fault loop; callbacks always
+  /// fire on the thread that called run(), regardless of set_threads.
   void set_progress(obs::ProgressFn fn, std::int64_t every_patterns = 8192);
+
+  /// Overrides the lane backend captured at construction (bench matrices,
+  /// width-identity tests). Throws DesignError when the backend is not
+  /// CPU-supported, or when this simulator uses EvalBackend::kInterpreted
+  /// (the retained golden path is scalar by definition) and `backend` is
+  /// wider than one word. Resets good-value state; call before run().
+  void set_lane_backend(const gate::LaneBackend* backend);
+  const gate::LaneBackend& lane_backend() const { return *lane_; }
+  /// Patterns per block under the current lane backend (W * 64).
+  int block_lanes() const { return lane_->lanes; }
 
   /// Worker threads for the per-fault propagation loop. 0 (the default)
   /// resolves BIBS_THREADS and falls back to serial; results are
@@ -164,11 +191,15 @@ class FaultSimulator {
   };
 
   void good_eval(const std::uint64_t* in_words);
+  /// Interpreted (scalar-only) propagation; the compiled path dispatches to
+  /// lane_->propagate instead.
   std::uint64_t propagate(const Fault& f, int valid_lanes, Scratch& s) const;
+  void reset_good_values();
 
   const gate::Netlist* nl_;
   FaultList faults_;
   EvalBackend backend_;
+  const gate::LaneBackend* lane_;
   obs::ProgressFn progress_;
   std::int64_t progress_every_ = 8192;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
@@ -181,7 +212,7 @@ class FaultSimulator {
   std::vector<char> observed_;  // per net: is a PO
 
   // Good-circuit values of the current block (shared, read-only during the
-  // parallel fault loop).
+  // parallel fault loop). W-strided: net n owns words [n*W, n*W + W).
   std::vector<std::uint64_t> good_;
 };
 

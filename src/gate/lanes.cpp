@@ -1,0 +1,114 @@
+#include "gate/lanes.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "gate/lanes_impl.hpp"
+#include "obs/report.hpp"
+
+namespace bibs::gate {
+
+// The wide backends live in their own TUs so their kernels compile under
+// the matching ISA flags; a TU is only built (and its factory only linked)
+// when the compiler accepts the flags — see src/gate/CMakeLists.txt.
+namespace detail {
+#ifdef BIBS_LANES_AVX2
+const LaneBackend* avx2_backend();
+#endif
+#ifdef BIBS_LANES_AVX512
+const LaneBackend* avx512_backend();
+#endif
+}  // namespace detail
+
+namespace {
+
+bool always_supported() { return true; }
+
+std::string compiled_in_names() {
+  std::string names;
+  for (const LaneBackend* b : all_lane_backends()) {
+    if (!names.empty()) names += ", ";
+    names += b->name;
+  }
+  return names;
+}
+
+const LaneBackend* resolve_active() {
+  if (const char* env = std::getenv("BIBS_LANES"); env && *env) {
+    const LaneBackend* b = find_lane_backend(env);
+    if (!b)
+      throw DesignError("BIBS_LANES=" + std::string(env) +
+                        " is not a compiled-in lane backend (have: " +
+                        compiled_in_names() + ")");
+    if (!b->supported())
+      throw DesignError("BIBS_LANES=" + std::string(env) +
+                        " is not supported by this CPU");
+    return b;
+  }
+  const LaneBackend* widest = &scalar_lane_backend();
+  for (const LaneBackend* b : all_lane_backends())
+    if (b->supported() && b->words > widest->words) widest = b;
+  return widest;
+}
+
+std::mutex g_active_mutex;
+std::atomic<const LaneBackend*> g_active{nullptr};
+
+}  // namespace
+
+const LaneBackend& scalar_lane_backend() {
+  static const LaneBackend backend =
+      lanes_detail::make_lane_backend<1>("scalar64", &always_supported);
+  return backend;
+}
+
+const std::vector<const LaneBackend*>& all_lane_backends() {
+  static const std::vector<const LaneBackend*> backends = [] {
+    std::vector<const LaneBackend*> v{&scalar_lane_backend()};
+#ifdef BIBS_LANES_AVX2
+    v.push_back(detail::avx2_backend());
+#endif
+#ifdef BIBS_LANES_AVX512
+    v.push_back(detail::avx512_backend());
+#endif
+    return v;
+  }();
+  return backends;
+}
+
+const LaneBackend* find_lane_backend(const std::string& name) {
+  for (const LaneBackend* b : all_lane_backends())
+    if (name == b->name) return b;
+  return nullptr;
+}
+
+const LaneBackend* lane_backend_for_lanes(int lanes) {
+  for (const LaneBackend* b : all_lane_backends())
+    if (b->lanes == lanes && b->supported()) return b;
+  return nullptr;
+}
+
+const LaneBackend& active_lane_backend() {
+  if (const LaneBackend* b = g_active.load(std::memory_order_acquire))
+    return *b;
+  const std::lock_guard<std::mutex> lock(g_active_mutex);
+  if (const LaneBackend* b = g_active.load(std::memory_order_acquire))
+    return *b;
+  const LaneBackend* resolved = resolve_active();
+  obs::set_report_label("lanes", resolved->name);
+  g_active.store(resolved, std::memory_order_release);
+  return *resolved;
+}
+
+void set_lane_backend(const LaneBackend* backend) {
+  if (backend && !backend->supported())
+    throw DesignError("lane backend " + std::string(backend->name) +
+                      " is not supported by this CPU");
+  const std::lock_guard<std::mutex> lock(g_active_mutex);
+  if (backend) obs::set_report_label("lanes", backend->name);
+  g_active.store(backend, std::memory_order_release);
+}
+
+}  // namespace bibs::gate

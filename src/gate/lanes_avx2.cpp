@@ -1,0 +1,21 @@
+// The 256-bit (4x64-lane) backend. This TU is compiled with -mavx2 (see
+// src/gate/CMakeLists.txt), so the LaneWord<4> loops in lanes_impl.hpp
+// vectorize to 256-bit ops; no other TU may instantiate the W=4 kernels.
+// Whether the *running* CPU has AVX2 is a separate, runtime question
+// answered by supported().
+
+#include "gate/lanes_impl.hpp"
+
+namespace bibs::gate::detail {
+
+namespace {
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") > 0; }
+}  // namespace
+
+const LaneBackend* avx2_backend() {
+  static const LaneBackend backend =
+      lanes_detail::make_lane_backend<4>("avx2", &cpu_has_avx2);
+  return &backend;
+}
+
+}  // namespace bibs::gate::detail

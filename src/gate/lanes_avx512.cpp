@@ -1,0 +1,21 @@
+// The 512-bit (8x64-lane) backend. This TU is compiled with -mavx512f
+// -mprefer-vector-width=512 (see src/gate/CMakeLists.txt), so the
+// LaneWord<8> loops in lanes_impl.hpp vectorize to 512-bit ops; no other TU
+// may instantiate the W=8 kernels. Whether the *running* CPU has AVX-512 is
+// a separate, runtime question answered by supported().
+
+#include "gate/lanes_impl.hpp"
+
+namespace bibs::gate::detail {
+
+namespace {
+bool cpu_has_avx512() { return __builtin_cpu_supports("avx512f") > 0; }
+}  // namespace
+
+const LaneBackend* avx512_backend() {
+  static const LaneBackend backend =
+      lanes_detail::make_lane_backend<8>("avx512", &cpu_has_avx512);
+  return &backend;
+}
+
+}  // namespace bibs::gate::detail

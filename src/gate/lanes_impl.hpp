@@ -1,0 +1,212 @@
+#pragma once
+// Width-templated kernel bodies behind the LaneBackend tables.
+//
+// Included ONLY by the per-backend TUs (lanes.cpp at W=1, lanes_avx2.cpp at
+// W=4, lanes_avx512.cpp at W=8), each built with its ISA flags. Every width
+// must be instantiated in exactly one TU: these are ordinary function
+// templates, and a second instantiation in a TU without the ISA flags would
+// be ODR-merged with the vectorized one arbitrarily.
+//
+// Each kernel is the scalar path of program.cpp / fault/simulator.cpp with
+// std::uint64_t replaced by LaneWord<W> and net indices scaled by W. At
+// W=1 the generated code is bit-identical to the legacy loops, which is the
+// identity the scalar64 backend (and every test gate) stands on.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "gate/lanes.hpp"
+
+namespace bibs::gate::lanes_detail {
+
+template <int W>
+inline LaneWord<W> lw(const std::uint64_t* v, NetId n) {
+  return LaneWord<W>::load(v + static_cast<std::size_t>(n) * W);
+}
+
+// always_inline: gcc otherwise leaves the opcode switch out of line, and the
+// per-instruction call (plus a vzeroupper per iteration in the AVX TUs)
+// costs more than the gate evaluation itself.
+template <int W>
+[[gnu::always_inline]] inline LaneWord<W> eval_one_w(const ProgramView& pv,
+                                                     std::size_t i,
+                                                     const std::uint64_t* v) {
+  const NetId* fi = pv.fanin + pv.off[i];
+  switch (pv.op[i]) {
+    case Op::kBuf: return lw<W>(v, fi[0]);
+    case Op::kNot: return ~lw<W>(v, fi[0]);
+    case Op::kAnd2: return lw<W>(v, fi[0]) & lw<W>(v, fi[1]);
+    case Op::kNand2: return ~(lw<W>(v, fi[0]) & lw<W>(v, fi[1]));
+    case Op::kOr2: return lw<W>(v, fi[0]) | lw<W>(v, fi[1]);
+    case Op::kNor2: return ~(lw<W>(v, fi[0]) | lw<W>(v, fi[1]));
+    case Op::kXor2: return lw<W>(v, fi[0]) ^ lw<W>(v, fi[1]);
+    case Op::kXnor2: return ~(lw<W>(v, fi[0]) ^ lw<W>(v, fi[1]));
+    default: break;
+  }
+  const std::uint32_t n = pv.off[i + 1] - pv.off[i];
+  LaneWord<W> r = lw<W>(v, fi[0]);
+  switch (pv.op[i]) {
+    case Op::kAndN:
+    case Op::kNandN:
+      for (std::uint32_t k = 1; k < n; ++k) r = r & lw<W>(v, fi[k]);
+      return pv.op[i] == Op::kNandN ? ~r : r;
+    case Op::kOrN:
+    case Op::kNorN:
+      for (std::uint32_t k = 1; k < n; ++k) r = r | lw<W>(v, fi[k]);
+      return pv.op[i] == Op::kNorN ? ~r : r;
+    default:
+      for (std::uint32_t k = 1; k < n; ++k) r = r ^ lw<W>(v, fi[k]);
+      return pv.op[i] == Op::kXnorN ? ~r : r;
+  }
+}
+
+template <int W>
+[[gnu::always_inline]] inline LaneWord<W> eval_one_forced_w(
+    const ProgramView& pv, std::size_t i, const std::uint64_t* v, int pin,
+    LaneWord<W> forced) {
+  const NetId* fi = pv.fanin + pv.off[i];
+  const std::uint32_t n = pv.off[i + 1] - pv.off[i];
+  const std::uint32_t p = static_cast<std::uint32_t>(pin);
+  const auto in = [&](std::uint32_t k) {
+    return k == p ? forced : lw<W>(v, fi[k]);
+  };
+  LaneWord<W> r = in(0);
+  switch (pv.op[i]) {
+    case Op::kBuf: return r;
+    case Op::kNot: return ~r;
+    case Op::kAnd2:
+    case Op::kNand2:
+    case Op::kAndN:
+    case Op::kNandN:
+      for (std::uint32_t k = 1; k < n; ++k) r = r & in(k);
+      return pv.op[i] == Op::kNand2 || pv.op[i] == Op::kNandN ? ~r : r;
+    case Op::kOr2:
+    case Op::kNor2:
+    case Op::kOrN:
+    case Op::kNorN:
+      for (std::uint32_t k = 1; k < n; ++k) r = r | in(k);
+      return pv.op[i] == Op::kNor2 || pv.op[i] == Op::kNorN ? ~r : r;
+    default:
+      for (std::uint32_t k = 1; k < n; ++k) r = r ^ in(k);
+      return pv.op[i] == Op::kXnor2 || pv.op[i] == Op::kXnorN ? ~r : r;
+  }
+}
+
+template <int W>
+void run_range_w(const ProgramView& pv, std::size_t begin, std::size_t end,
+                 std::uint64_t* v) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const LaneWord<W> r = eval_one_w<W>(pv, i, v);
+    r.store(v + static_cast<std::size_t>(pv.out[i]) * W);
+  }
+}
+
+/// The dirty-bitmask event loop of the compiled fault propagation: a
+/// LaneWord per net, one dirty bit per instruction (an event fires when ANY
+/// of the W words changed). Instruction indices are a topological order
+/// (consumers follow producers in the stream), so scheduling is one
+/// idempotent OR and popping is countr_zero on an ascending bit scan.
+/// Three facts keep the per-event work minimal:
+///  - every net is written at most once per sweep (ascending topological
+///    order), so a changed net can be recorded without comparing against
+///    good first, and detection falls out of the changed list at the end;
+///  - the injection instruction can never be re-marked (its fan-ins are
+///    strictly upstream of the cone), so no per-event skip is needed;
+///  - the current bitmask word is kept in a register and only spilled marks
+///    go through memory, so there is no load/store chain on dirty[wi].
+template <int W>
+void propagate_w(const LanePropagateCtx& c, const LaneFaultSite& f,
+                 NetId* chg, std::uint64_t* detect) {
+  const ProgramView& pv = c.pv;
+  std::uint64_t* cur = c.cur;
+  const std::uint64_t* good = c.good;
+  const LaneWord<W> mask = LaneWord<W>::load(c.lane_mask);
+  LaneWord<W> det = LaneWord<W>::zero();
+
+  const LaneWord<W> stuck_word =
+      f.stuck ? LaneWord<W>::ones() : LaneWord<W>::zero();
+  const LaneWord<W> injected =
+      f.pin < 0 ? stuck_word
+                : eval_one_forced_w<W>(pv, f.instr, cur, f.pin, stuck_word);
+  if (injected == lw<W>(cur, f.net)) {
+    det.store(detect);
+    return;
+  }
+  injected.store(cur + static_cast<std::size_t>(f.net) * W);
+
+  std::size_t nchg = 0;
+  chg[nchg++] = f.net;
+
+  std::uint64_t* dirty = c.dirty;
+  const std::size_t nwords = (c.n_instr + 63) / 64;
+  std::size_t wlo = nwords;
+  for (const std::uint32_t* p = pv.fo + pv.fo_off[f.net],
+                          * pe = pv.fo + pv.fo_off[f.net + 1];
+       p != pe; ++p) {
+    const std::size_t w = *p >> 6;
+    dirty[w] |= 1ull << (*p & 63);
+    if (w < wlo) wlo = w;
+  }
+
+  for (std::size_t wi = wlo; wi < nwords; ++wi) {
+    std::uint64_t w = dirty[wi];
+    dirty[wi] = 0;
+    while (w != 0) {
+      const std::uint32_t ii = static_cast<std::uint32_t>(
+          (wi << 6) + static_cast<std::size_t>(std::countr_zero(w)));
+      w &= w - 1;
+      const LaneWord<W> v = eval_one_w<W>(pv, ii, cur);
+      const NetId id = pv.out[ii];
+      if (v == lw<W>(cur, id)) continue;
+      v.store(cur + static_cast<std::size_t>(id) * W);
+      chg[nchg++] = id;
+      for (const std::uint32_t* p = pv.fo + pv.fo_off[id],
+                              * pe = pv.fo + pv.fo_off[id + 1];
+           p != pe; ++p) {
+        const std::uint32_t cc = *p;
+        if ((cc >> 6) == wi)
+          w |= 1ull << (cc & 63);
+        else
+          dirty[cc >> 6] |= 1ull << (cc & 63);
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < nchg; ++k) {
+    const std::size_t n = static_cast<std::size_t>(chg[k]) * W;
+    if (c.observed[static_cast<std::size_t>(chg[k])])
+      det = det | ((LaneWord<W>::load(cur + n) ^ LaneWord<W>::load(good + n)) &
+                   mask);
+    LaneWord<W>::load(good + n).store(cur + n);
+  }
+  det.store(detect);
+}
+
+template <int W>
+void eval_one_entry(const ProgramView& pv, std::size_t i,
+                    const std::uint64_t* values, std::uint64_t* out) {
+  eval_one_w<W>(pv, i, values).store(out);
+}
+
+template <int W>
+void eval_one_forced_entry(const ProgramView& pv, std::size_t i,
+                           const std::uint64_t* values, int pin,
+                           const std::uint64_t* forced, std::uint64_t* out) {
+  eval_one_forced_w<W>(pv, i, values, pin, LaneWord<W>::load(forced))
+      .store(out);
+}
+
+template <int W>
+LaneBackend make_lane_backend(const char* name, bool (*supported)()) {
+  return LaneBackend{name,
+                     W,
+                     W * kLanesPerWord,
+                     supported,
+                     &run_range_w<W>,
+                     &eval_one_entry<W>,
+                     &eval_one_forced_entry<W>,
+                     &propagate_w<W>};
+}
+
+}  // namespace bibs::gate::lanes_detail

@@ -13,6 +13,29 @@
 
 namespace bibs::obs {
 
+namespace {
+
+// Intentionally leaked: the first set_report_label() call can happen after
+// detail::ensure_shutdown_hook() has armed the atexit report writer, so a
+// plain function-local static would be destroyed before the hook runs
+// Report::collect() and the copy would read a dead map.
+std::mutex& label_mutex() {
+  static auto* m = new std::mutex;
+  return *m;
+}
+
+std::map<std::string, std::string>& label_map() {
+  static auto* labels = new std::map<std::string, std::string>;
+  return *labels;
+}
+
+}  // namespace
+
+void set_report_label(const std::string& key, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(label_mutex());
+  label_map()[key] = value;
+}
+
 Report Report::collect() {
   Registry& reg = Registry::global();
   Report r;
@@ -28,6 +51,10 @@ Report Report::collect() {
                        std::chrono::steady_clock::now() - reg.start_steady())
                        .count();
   r.metrics = reg.snapshot();
+  {
+    const std::lock_guard<std::mutex> lock(label_mutex());
+    r.labels = label_map();
+  }
   return r;
 }
 
@@ -38,6 +65,10 @@ Json Report::to_json() const {
   root["obs_compiled"] = Json(obs_compiled);
   root["started_unix_ms"] = Json(started_unix_ms);
   root["wall_time_ms"] = Json(wall_time_ms);
+
+  Json jlabels = Json::object();
+  for (const auto& [key, value] : labels) jlabels[key] = Json(value);
+  root["labels"] = std::move(jlabels);
 
   Json phases = Json::object();
   for (const auto& p : metrics.phases) {

@@ -9,6 +9,7 @@
 //     "obs_compiled": true,            // BIBS_OBS build option
 //     "started_unix_ms": 1712345678901,
 //     "wall_time_ms": 1234.5,
+//     "labels":     { "<key>": "<value>", ... },   // set_report_label()
 //     "phases":     { "<span name>": {"calls": n, "wall_ms": x}, ... },
 //     "counters":   { "<name>": n, ... },
 //     "gauges":     { "<name>": x, ... },
@@ -20,6 +21,7 @@
 // process exit to the path in BIBS_METRICS (any instrumented binary — the
 // bench_* drivers and examples — becomes a producer with no code changes).
 
+#include <map>
 #include <string>
 
 #include "obs/json.hpp"
@@ -27,11 +29,17 @@
 
 namespace bibs::obs {
 
+/// Attaches a free-form string label to every subsequent report — run-wide
+/// configuration facts that are not metrics (e.g. the resolved SIMD lane
+/// backend, "lanes" = "avx512"). Last write per key wins.
+void set_report_label(const std::string& key, const std::string& value);
+
 struct Report {
   std::string git_describe;
   bool obs_compiled = false;
   std::int64_t started_unix_ms = 0;
   double wall_time_ms = 0.0;
+  std::map<std::string, std::string> labels;
   Registry::Snapshot metrics;
 
   /// Snapshot of the global registry, stamped with build identity and the

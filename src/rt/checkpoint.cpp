@@ -151,6 +151,7 @@ obs::Json SessionCheckpoint::to_json() const {
   j["cycles"] = obs::Json(cycles);
   j["total_faults"] = obs::Json(static_cast<std::uint64_t>(total_faults));
   j["batches_done"] = obs::Json(static_cast<std::uint64_t>(batches_done));
+  j["batch_faults"] = obs::Json(static_cast<std::uint64_t>(batch_faults));
   const auto flags = [](const std::vector<std::uint8_t>& v) {
     obs::Json a = obs::Json::array();
     for (std::uint8_t f : v) a.push_back(obs::Json(f != 0));
@@ -170,6 +171,11 @@ SessionCheckpoint SessionCheckpoint::from_json(const obs::Json& j) {
   ck.cycles = require_int(j, "cycles");
   ck.total_faults = static_cast<std::size_t>(require_int(j, "total_faults"));
   ck.batches_done = static_cast<std::size_t>(require_int(j, "batches_done"));
+  // Absent in files written before lane-width-parameterized sessions, which
+  // always ran 63-fault (scalar64) batches.
+  ck.batch_faults = j.find("batch_faults")
+                        ? static_cast<std::size_t>(require_int(j, "batch_faults"))
+                        : 63;
   const auto flags = [&](const char* key) {
     const obs::Json& a = require(j, key);
     if (!a.is_array())

@@ -9,9 +9,10 @@
 //     first-detection indices, pattern position and (for run_random /
 //     run_weighted) the PRNG state.
 //   * SessionCheckpoint (sim::BistSession): fault-batch boundary — per-fault
-//     detection flags, golden signatures and the number of completed
-//     63-fault batches. An interrupted batch is re-run from its start on
-//     resume, which is bit-exact because batches are independent.
+//     detection flags, golden signatures and the number of completed fault
+//     batches (batch_faults faults each; 63 on scalar64). An interrupted
+//     batch is re-run from its start on resume, which is bit-exact because
+//     batches are independent.
 //
 // 64-bit words (signatures, PRNG state) are serialized as "0x..." hex
 // strings: obs::Json numbers are doubles and would silently round above
@@ -55,8 +56,13 @@ struct SessionCheckpoint {
   std::int64_t cycles = 0;
   /// Fault-list size; resume validates it matches.
   std::size_t total_faults = 0;
-  /// Fully completed 63-fault batches.
+  /// Fully completed fault batches of `batch_faults` faults each.
   std::size_t batches_done = 0;
+  /// Faults per batch (lane count of the engine minus the fault-free lane;
+  /// 63 on scalar64). Batch boundaries move with the lane width, so resume
+  /// validates the width matches; files written before the field default
+  /// to 63 on load.
+  std::size_t batch_faults = 63;
   std::vector<std::uint8_t> detected_at_outputs;
   std::vector<std::uint8_t> detected_by_signature;
   std::vector<std::uint64_t> golden_signatures;

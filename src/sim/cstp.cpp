@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/bitvec.hpp"
+#include "gate/lanes.hpp"
 #include "obs/obs.hpp"
 #include "par/pool.hpp"
 #include "sim/lane_engine.hpp"
@@ -28,6 +29,14 @@ void CstpSession::set_threads(int threads) {
   threads_ = threads;
 }
 
+void CstpSession::set_batch_lanes(int lanes) {
+  BIBS_ASSERT(lanes >= 0);
+  if (lanes != 0 && gate::lane_backend_for_lanes(lanes) == nullptr)
+    throw DesignError("no compiled-in, CPU-supported lane backend runs " +
+                      std::to_string(lanes) + " pattern lanes per block");
+  batch_lanes_ = lanes;
+}
+
 CstpReport CstpSession::run(const fault::FaultList& faults,
                             std::int64_t cycles,
                             const rt::RunControl& ctl) const {
@@ -38,8 +47,15 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
   std::vector<char> det_ideal(faults.size(), 0);
   std::vector<char> det_sig(faults.size(), 0);
 
-  const std::size_t n_batches =
-      std::max<std::size_t>(1, (faults.size() + 62) / 63);
+  const gate::LaneBackend* lb =
+      batch_lanes_ == 0 ? &gate::active_lane_backend()
+                        : gate::lane_backend_for_lanes(batch_lanes_);
+  BIBS_ASSERT(lb != nullptr);  // set_batch_lanes validated non-zero values
+  const std::size_t kBatchFaults = static_cast<std::size_t>(lb->lanes) - 1;
+  const std::size_t wstride = static_cast<std::size_t>(lb->words);
+
+  const std::size_t n_batches = std::max<std::size_t>(
+      1, (faults.size() + kBatchFaults - 1) / kBatchFaults);
   std::atomic<std::int64_t> work_done{0};
 
   struct BatchResult {
@@ -51,17 +67,21 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
   std::vector<BatchResult> results(n_batches);
 
   const auto run_batch = [&](std::size_t bi, BatchResult& out) {
-    const std::size_t base = bi * 63;
+    const std::size_t base = bi * kBatchFaults;
     const std::size_t batch = std::min<std::size_t>(
-        63, faults.size() > base ? faults.size() - base : 0);
+        kBatchFaults, faults.size() > base ? faults.size() - base : 0);
     LaneEngine eng(*nl_,
                    std::span<const fault::Fault>(faults.faults())
-                       .subspan(base, batch));
+                       .subspan(base, batch),
+                   lb);
     // Seed the ring.
     eng.set_dff_state(ring_.front(), ~0ull);
 
-    std::uint64_t diverged = 0;
-    std::vector<std::uint64_t> prev(ring_.size());
+    // All per-lane state is W-strided (lane l at word l/64 bit l%64);
+    // the fault-free machine is lane 0, i.e. bit 0 of word 0.
+    std::vector<std::uint64_t> diverged(wstride, 0);
+    std::vector<std::uint64_t> prev(ring_.size() * wstride);
+    std::vector<std::uint64_t> next(wstride);
     for (std::int64_t t = 0; t < cycles; ++t) {
       if ((t & 63) == 0) {
         if (const rt::RunStatus st = ctl.interruption(
@@ -75,27 +95,33 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
       eng.eval();
       // Splice: next(FF_i) = D_i XOR Q(FF_{i-1}), circularly. Capture the
       // present ring states first (all updates are simultaneous).
-      for (std::size_t i = 0; i < ring_.size(); ++i)
-        prev[i] = eng.state(ring_[i]);
       for (std::size_t i = 0; i < ring_.size(); ++i) {
-        const std::uint64_t d = eng.value(ring_d_[i]);
-        const std::uint64_t from_ring =
-            prev[(i + ring_.size() - 1) % ring_.size()];
-        eng.clock_override(ring_[i], d ^ from_ring);
+        const std::uint64_t* s = eng.state_words(ring_[i]);
+        std::copy(s, s + wstride, prev.begin() + i * wstride);
       }
       for (std::size_t i = 0; i < ring_.size(); ++i) {
-        const std::uint64_t v = eng.state(ring_[i]);
-        diverged |= v ^ ((v & 1u) ? ~0ull : 0ull);
+        const std::uint64_t* d = eng.value_words(ring_d_[i]);
+        const std::uint64_t* from_ring =
+            prev.data() + ((i + ring_.size() - 1) % ring_.size()) * wstride;
+        for (std::size_t w = 0; w < wstride; ++w)
+          next[w] = d[w] ^ from_ring[w];
+        eng.clock_override_words(ring_[i], next.data());
+      }
+      for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const std::uint64_t* v = eng.state_words(ring_[i]);
+        const std::uint64_t good = (v[0] & 1u) ? ~0ull : 0ull;
+        for (std::size_t w = 0; w < wstride; ++w) diverged[w] |= v[w] ^ good;
       }
     }
     out.det_ideal.assign(batch, 0);
     out.det_sig.assign(batch, 0);
     for (std::size_t k = 0; k < batch; ++k) {
-      if ((diverged >> (k + 1)) & 1u) out.det_ideal[k] = 1;
+      if ((diverged[(k + 1) >> 6] >> ((k + 1) & 63)) & 1u)
+        out.det_ideal[k] = 1;
       for (NetId ff : ring_) {
-        const std::uint64_t v = eng.state(ff);
-        const std::uint64_t good = (v & 1u) ? ~0ull : 0ull;
-        if ((v ^ good) >> (k + 1) & 1u) {
+        const std::uint64_t* v = eng.state_words(ff);
+        const std::uint64_t good = (v[0] & 1u) ? ~0ull : 0ull;
+        if ((v[(k + 1) >> 6] ^ good) >> ((k + 1) & 63) & 1u) {
           out.det_sig[k] = 1;
           break;
         }
@@ -120,7 +146,7 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
 
   std::size_t completed = 0;
   while (completed < n_batches && results[completed].completed) {
-    const std::size_t base = completed * 63;
+    const std::size_t base = completed * kBatchFaults;
     const BatchResult& r = results[completed];
     for (std::size_t k = 0; k < r.det_ideal.size(); ++k) {
       if (r.det_ideal[k]) det_ideal[base + k] = 1;

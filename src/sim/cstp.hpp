@@ -24,7 +24,7 @@ struct CstpReport {
   /// Faults whose final ring contents (the signature) differ.
   std::size_t detected_by_signature = 0;
   /// How the run ended; anything but kFinished marks a partial report
-  /// (only fully completed 63-fault batches are counted).
+  /// (only fully completed fault batches are counted).
   rt::RunStatus status = rt::RunStatus::kFinished;
 };
 
@@ -36,15 +36,22 @@ class CstpSession {
   explicit CstpSession(const gate::Netlist& nl);
 
   /// `ctl` is polled every 64 emulated cycles (work units are cycles summed
-  /// across the 63-fault batches); an interrupted run drops the in-flight
+  /// across the fault batches); an interrupted run drops the in-flight
   /// batch and returns a partial report whose `status` says why.
   CstpReport run(const fault::FaultList& faults, std::int64_t cycles,
                  const rt::RunControl& ctl = {}) const;
 
-  /// Worker threads for the independent 63-fault batches (same deterministic
+  /// Worker threads for the independent fault batches (same deterministic
   /// chunking as sim::BistSession). 0 (the default) resolves BIBS_THREADS
   /// and falls back to serial; reports are bit-identical for every value.
   void set_threads(int threads);
+
+  /// Pattern-lane count of the per-batch LaneEngine (batches carry
+  /// lanes - 1 faults). 0 (the default) resolves
+  /// gate::active_lane_backend(); other values must match a compiled-in,
+  /// CPU-supported backend (DesignError otherwise). Reports are
+  /// width-invariant: every fault's ring evolves in its own lane.
+  void set_batch_lanes(int lanes);
 
   /// Fault-free run measuring *pattern* coverage: the number of cycles until
   /// the watched flip-flops (<= 24 of them) have taken `target` distinct
@@ -67,6 +74,7 @@ class CstpSession {
   /// must be recomputed every cycle.
   std::vector<gate::NetId> ring_d_;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
+  int batch_lanes_ = 0;  // 0 = active_lane_backend()
 };
 
 }  // namespace bibs::sim

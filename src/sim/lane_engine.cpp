@@ -11,15 +11,24 @@ using gate::Gate;
 using gate::GateType;
 using gate::NetId;
 
+namespace {
+// Largest backend width; per-instruction scratch for the special blends.
+constexpr std::size_t kMaxWords = 8;
+}  // namespace
+
 LaneEngine::LaneEngine(const gate::Netlist& nl,
-                       std::span<const fault::Fault> batch)
+                       std::span<const fault::Fault> batch,
+                       const gate::LaneBackend* backend)
     : nl_(&nl),
+      lane_(backend ? backend : &gate::active_lane_backend()),
+      wstride_(static_cast<std::size_t>(lane_->words)),
       prog_(nl),
-      val_(nl.net_count(), 0),
-      state_(nl.net_count(), 0),
-      stem0_(nl.net_count(), 0),
-      stem1_(nl.net_count(), 0) {
-  BIBS_ASSERT(batch.size() <= 63);
+      val_(nl.net_count() * wstride_, 0),
+      state_(nl.net_count() * wstride_, 0),
+      stem0_(nl.net_count() * wstride_, 0),
+      stem1_(nl.net_count() * wstride_, 0) {
+  BIBS_ASSERT(wstride_ <= kMaxWords);
+  BIBS_ASSERT(batch.size() < static_cast<std::size_t>(lane_->lanes));
   std::map<std::uint32_t, std::vector<PinFault>> by_instr;
   for (std::size_t k = 0; k < batch.size(); ++k) {
     const fault::Fault& f = batch[k];
@@ -30,23 +39,29 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
         static_cast<std::size_t>(f.pin) >= nl.gate(f.net).fanin.size())
       throw DesignError("fault pin " + std::to_string(f.pin) +
                         " is out of range on net " + std::to_string(f.net));
-    const std::uint64_t mask = 1ull << (k + 1);
+    // Fault k owns lane k + 1: word (k+1)/64, bit (k+1)%64.
+    const std::uint32_t word =
+        static_cast<std::uint32_t>((k + 1) / gate::kLanesPerWord);
+    const std::uint64_t mask = 1ull << ((k + 1) % gate::kLanesPerWord);
     if (f.pin < 0) {
-      (f.stuck ? stem1_ : stem0_)[static_cast<std::size_t>(f.net)] |= mask;
+      (f.stuck ? stem1_ : stem0_)[static_cast<std::size_t>(f.net) * wstride_ +
+                                  word] |= mask;
     } else if (nl.gate(f.net).type == GateType::kDff) {
-      dff_pin_faults_[f.net].push_back({f.pin, mask, f.stuck});
+      dff_pin_faults_[f.net].push_back({f.pin, word, mask, f.stuck});
     } else {
-      by_instr[prog_.instr_of(f.net)].push_back({f.pin, mask, f.stuck});
+      by_instr[prog_.instr_of(f.net)].push_back({f.pin, word, mask, f.stuck});
     }
   }
 
   // Compile the fault sites into the ascending special-instruction list:
   // every instruction with a stem or pin fault leaves the straight-line
-  // path; everything else runs through EvalProgram::run_range untouched.
+  // path; everything else runs through the backend's run_range untouched.
   for (std::size_t i = 0; i < prog_.size(); ++i) {
     const NetId out = prog_.out(i);
-    const bool has_stem = (stem0_[static_cast<std::size_t>(out)] |
-                           stem1_[static_cast<std::size_t>(out)]) != 0;
+    bool has_stem = false;
+    for (std::size_t j = 0; j < wstride_; ++j)
+      has_stem |= (stem0_[static_cast<std::size_t>(out) * wstride_ + j] |
+                   stem1_[static_cast<std::size_t>(out) * wstride_ + j]) != 0;
     const auto it = by_instr.find(static_cast<std::uint32_t>(i));
     if (!has_stem && it == by_instr.end()) continue;
     Special sp;
@@ -64,72 +79,90 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
   // every eval() from state_.
   for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
     const Gate& g = nl.gate(id);
-    if (g.type == GateType::kConst1)
-      val_[static_cast<std::size_t>(id)] = apply_stem(id, ~0ull);
-    else if (g.type == GateType::kConst0 || g.type == GateType::kInput)
-      val_[static_cast<std::size_t>(id)] = apply_stem(id, 0ull);
-    else if (g.type == GateType::kDff)
+    if (g.type == GateType::kConst1) {
+      std::uint64_t* v = val_.data() + static_cast<std::size_t>(id) * wstride_;
+      for (std::size_t j = 0; j < wstride_; ++j) v[j] = ~0ull;
+      apply_stem_words(id, v);
+    } else if (g.type == GateType::kConst0 || g.type == GateType::kInput) {
+      std::uint64_t* v = val_.data() + static_cast<std::size_t>(id) * wstride_;
+      for (std::size_t j = 0; j < wstride_; ++j) v[j] = 0;
+      apply_stem_words(id, v);
+    } else if (g.type == GateType::kDff) {
       dff_d_.emplace_back(id, g.fanin.empty() ? gate::kNoNet : g.fanin[0]);
+    }
   }
 }
 
 void LaneEngine::set_dff_state(NetId dff, std::uint64_t word) {
-  state_[static_cast<std::size_t>(dff)] = word;
+  std::uint64_t* s = state_.data() + static_cast<std::size_t>(dff) * wstride_;
+  for (std::size_t j = 0; j < wstride_; ++j) s[j] = word;
 }
 
 void LaneEngine::eval() {
   BIBS_COUNTER(c_evals, "lane_engine.evals");
   BIBS_COUNTER_ADD(c_evals, 1);
-  for (const auto& [d, dnet] : dff_d_)
-    val_[static_cast<std::size_t>(d)] =
-        apply_stem(d, state_[static_cast<std::size_t>(d)]);
+  for (const auto& [d, dnet] : dff_d_) {
+    std::uint64_t* v = val_.data() + static_cast<std::size_t>(d) * wstride_;
+    const std::uint64_t* s =
+        state_.data() + static_cast<std::size_t>(d) * wstride_;
+    for (std::size_t j = 0; j < wstride_; ++j) v[j] = s[j];
+    apply_stem_words(d, v);
+  }
 
+  const gate::ProgramView pv = prog_.view();
   std::uint64_t* v = val_.data();
   std::size_t pos = 0;
   for (const Special& sp : special_) {
-    prog_.run_range(pos, sp.instr, v);
-    std::uint64_t out = prog_.eval_one(sp.instr, v);
+    lane_->run_range(pv, pos, sp.instr, v);
+    std::uint64_t out[kMaxWords];
+    lane_->eval_one(pv, sp.instr, v, out);
+    std::uint64_t forced[kMaxWords], fout[kMaxWords];
     for (std::uint32_t p = sp.pf_begin; p < sp.pf_end; ++p) {
       const PinFault& pf = pin_faults_[p];
-      const std::uint64_t forced = prog_.eval_one_forced(
-          sp.instr, v, pf.pin, pf.stuck ? ~0ull : 0ull);
-      out = (out & ~pf.mask) | (forced & pf.mask);
+      for (std::size_t j = 0; j < wstride_; ++j)
+        forced[j] = pf.stuck ? ~0ull : 0ull;
+      lane_->eval_one_forced(pv, sp.instr, v, pf.pin, forced, fout);
+      out[pf.word] = (out[pf.word] & ~pf.mask) | (fout[pf.word] & pf.mask);
     }
     const NetId id = prog_.out(sp.instr);
-    v[static_cast<std::size_t>(id)] = apply_stem(id, out);
+    std::uint64_t* ov = v + static_cast<std::size_t>(id) * wstride_;
+    for (std::size_t j = 0; j < wstride_; ++j) ov[j] = out[j];
+    apply_stem_words(id, ov);
     pos = sp.instr + 1;
   }
-  prog_.run_range(pos, prog_.size(), v);
+  lane_->run_range(pv, pos, prog_.size(), v);
 }
 
-std::uint64_t LaneEngine::next_with_pin_faults(NetId dff,
-                                               std::uint64_t next) const {
+void LaneEngine::next_with_pin_faults(NetId dff, std::uint64_t* next) const {
   if (auto it = dff_pin_faults_.find(dff); it != dff_pin_faults_.end())
     for (const PinFault& pf : it->second)
-      next = pf.stuck ? (next | pf.mask) : (next & ~pf.mask);
-  return next;
+      next[pf.word] =
+          pf.stuck ? (next[pf.word] | pf.mask) : (next[pf.word] & ~pf.mask);
 }
 
 void LaneEngine::clock() {
   BIBS_COUNTER(c_clocks, "lane_engine.clocks");
   BIBS_COUNTER_ADD(c_clocks, 1);
-  if (dff_pin_faults_.empty()) {
-    for (const auto& [d, dnet] : dff_d_) {
-      BIBS_ASSERT(dnet != gate::kNoNet);
-      state_[static_cast<std::size_t>(d)] =
-          val_[static_cast<std::size_t>(dnet)];
-    }
-    return;
-  }
   for (const auto& [d, dnet] : dff_d_) {
     BIBS_ASSERT(dnet != gate::kNoNet);
-    state_[static_cast<std::size_t>(d)] =
-        next_with_pin_faults(d, val_[static_cast<std::size_t>(dnet)]);
+    std::uint64_t* s = state_.data() + static_cast<std::size_t>(d) * wstride_;
+    const std::uint64_t* v =
+        val_.data() + static_cast<std::size_t>(dnet) * wstride_;
+    for (std::size_t j = 0; j < wstride_; ++j) s[j] = v[j];
+    if (!dff_pin_faults_.empty()) next_with_pin_faults(d, s);
   }
 }
 
 void LaneEngine::clock_override(NetId dff, std::uint64_t next) {
-  state_[static_cast<std::size_t>(dff)] = next_with_pin_faults(dff, next);
+  std::uint64_t* s = state_.data() + static_cast<std::size_t>(dff) * wstride_;
+  for (std::size_t j = 0; j < wstride_; ++j) s[j] = next;
+  next_with_pin_faults(dff, s);
+}
+
+void LaneEngine::clock_override_words(NetId dff, const std::uint64_t* next) {
+  std::uint64_t* s = state_.data() + static_cast<std::size_t>(dff) * wstride_;
+  for (std::size_t j = 0; j < wstride_; ++j) s[j] = next[j];
+  next_with_pin_faults(dff, s);
 }
 
 }  // namespace bibs::sim

@@ -1,20 +1,25 @@
 #pragma once
 // Parallel-fault gate-level machine shared by the BIST session emulator and
-// the CSTP baseline: lane 0 of every 64-bit word carries the fault-free
-// machine, lanes 1..63 carry machines with one injected stuck-at fault each.
+// the CSTP baseline: lane 0 carries the fault-free machine, lanes 1..L-1
+// carry machines with one injected stuck-at fault each, where L is the
+// pattern-lane count of the gate::LaneBackend the engine runs on (64 on
+// scalar64, 256 on avx2, 512 on avx512). Values are W-strided arrays of
+// 64-bit words — net n owns words [n*W, n*W + W), lane l lives in word
+// l/64 bit l%64 — so lane 0..63 stay bit-identical to the scalar engine.
 //
-// Evaluation runs on the compiled gate::EvalProgram instruction stream. The
-// batch's fault sites are compiled into per-gate tags at construction: the
-// (at most 63) instructions carrying a stem or pin fault become "special"
-// entries, and eval() executes the straight-line fused program between them
-// — fault-free gates never test for faults, never touch a hash map, and
-// never re-apply identity stem masks.
+// Evaluation runs on the compiled gate::EvalProgram instruction stream via
+// the backend's kernels. The batch's fault sites are compiled into per-gate
+// tags at construction: the instructions carrying a stem or pin fault
+// become "special" entries, and eval() executes the straight-line fused
+// program between them — fault-free gates never test for faults, never
+// touch a hash map, and never re-apply identity stem masks.
 
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "gate/lanes.hpp"
 #include "gate/netlist.hpp"
 #include "gate/program.hpp"
 #include "gate/sim.hpp"
@@ -26,30 +31,54 @@ class LaneEngine {
   /// Throws DesignError if a fault in `batch` does not fit the netlist
   /// (net out of range, pin index beyond the gate's fan-in): fault lists
   /// can come from checkpoints or external tools and are validated before
-  /// they reach the unchecked hot loops.
-  LaneEngine(const gate::Netlist& nl, std::span<const fault::Fault> batch);
+  /// they reach the unchecked hot loops. `batch` must carry fewer than
+  /// lanes() faults (asserted). `backend` == nullptr runs on
+  /// gate::active_lane_backend().
+  LaneEngine(const gate::Netlist& nl, std::span<const fault::Fault> batch,
+             const gate::LaneBackend* backend = nullptr);
 
+  /// 64-bit words per value (W); lanes() == words() * 64 pattern lanes,
+  /// so the engine fits lanes() - 1 faults next to the fault-free lane 0.
+  int words() const { return lane_->words; }
+  int lanes() const { return lane_->lanes; }
+  const gate::LaneBackend& backend() const { return *lane_; }
+
+  /// Broadcasts `word` across all W state words of `dff` — every 64-lane
+  /// word gets the same bits, which keeps stimulus width-invariant (lane l
+  /// and lane l % 64 always see the same drive).
   void set_dff_state(gate::NetId dff, std::uint64_t word);
+  /// Word 0 (lanes 0..63) of the DFF state / net value — the scalar view.
   std::uint64_t state(gate::NetId dff) const {
-    return state_[static_cast<std::size_t>(dff)];
+    return state_[static_cast<std::size_t>(dff) * wstride_];
   }
   std::uint64_t value(gate::NetId net) const {
-    return val_[static_cast<std::size_t>(net)];
+    return val_[static_cast<std::size_t>(net) * wstride_];
+  }
+  /// All W words of a net's value / DFF state (lane l at word l/64).
+  const std::uint64_t* value_words(gate::NetId net) const {
+    return val_.data() + static_cast<std::size_t>(net) * wstride_;
+  }
+  const std::uint64_t* state_words(gate::NetId dff) const {
+    return state_.data() + static_cast<std::size_t>(dff) * wstride_;
   }
 
   /// Evaluates all combinational logic with lane-wise fault injection.
   void eval();
   /// Clocks every DFF (stem faults on Q are re-applied at the next eval).
   void clock();
-  /// Clocks one DFF with an explicit next value (for reconfigured registers,
-  /// e.g. the XOR splice of a circular self-test path). Pin faults on the
-  /// DFF still apply.
+  /// Clocks one DFF with an explicit next value (for reconfigured
+  /// registers, e.g. the XOR splice of a circular self-test path),
+  /// broadcast across all W words. Pin faults on the DFF still apply.
   void clock_override(gate::NetId dff, std::uint64_t next);
+  /// Same with all W words given explicitly (next[0..W)) — the per-lane
+  /// splice of a faulty wide machine.
+  void clock_override_words(gate::NetId dff, const std::uint64_t* next);
 
  private:
   struct PinFault {
     int pin;
-    std::uint64_t mask;
+    std::uint32_t word;  // which 64-lane word the fault's lane lives in
+    std::uint64_t mask;  // lane bit within that word
     bool stuck;
   };
   /// One instruction carrying at least one fault: its pin faults live in
@@ -60,14 +89,16 @@ class LaneEngine {
     std::uint32_t pf_end;
   };
 
-  std::uint64_t apply_stem(gate::NetId id, std::uint64_t v) const {
-    return (v | stem1_[static_cast<std::size_t>(id)]) &
-           ~stem0_[static_cast<std::size_t>(id)];
+  void apply_stem_words(gate::NetId id, std::uint64_t* v) const {
+    const std::size_t n = static_cast<std::size_t>(id) * wstride_;
+    for (std::size_t j = 0; j < wstride_; ++j)
+      v[j] = (v[j] | stem1_[n + j]) & ~stem0_[n + j];
   }
-  std::uint64_t next_with_pin_faults(gate::NetId dff,
-                                     std::uint64_t next) const;
+  void next_with_pin_faults(gate::NetId dff, std::uint64_t* next) const;
 
   const gate::Netlist* nl_;
+  const gate::LaneBackend* lane_;
+  std::size_t wstride_;  // == words()
   gate::EvalProgram prog_;
   std::vector<std::uint64_t> val_;
   std::vector<std::uint64_t> state_;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "gate/lanes.hpp"
 #include "gate/sim.hpp"
 #include "obs/obs.hpp"
 #include "par/pool.hpp"
@@ -83,6 +84,14 @@ void BistSession::set_threads(int threads) {
   threads_ = threads;
 }
 
+void BistSession::set_batch_lanes(int lanes) {
+  BIBS_ASSERT(lanes >= 0);
+  if (lanes != 0 && gate::lane_backend_for_lanes(lanes) == nullptr)
+    throw DesignError("no compiled-in, CPU-supported lane backend runs " +
+                      std::to_string(lanes) + " pattern lanes per block");
+  batch_lanes_ = lanes;
+}
+
 SessionReport BistSession::run(const fault::FaultList& faults,
                                std::int64_t cycles,
                                const rt::RunControl& ctl,
@@ -102,10 +111,19 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   rep.total_faults = faults.size();
   rep.golden_signatures.assign(output_d_.size(), 0);
 
-  // Each batch of up to 63 faults re-runs the full `cycles` clocks; the
-  // 0-fault session still runs one batch for the golden signatures.
-  const std::size_t n_batches =
-      std::max<std::size_t>(1, (faults.size() + 62) / 63);
+  const gate::LaneBackend* lb =
+      batch_lanes_ == 0 ? &gate::active_lane_backend()
+                        : gate::lane_backend_for_lanes(batch_lanes_);
+  BIBS_ASSERT(lb != nullptr);  // set_batch_lanes validated non-zero values
+  // Faults per batch: every lane but the fault-free lane 0 carries one.
+  const std::size_t kBatchFaults = static_cast<std::size_t>(lb->lanes) - 1;
+  const std::size_t wstride = static_cast<std::size_t>(lb->words);
+
+  // Each batch of up to kBatchFaults faults re-runs the full `cycles`
+  // clocks; the 0-fault session still runs one batch for the golden
+  // signatures.
+  const std::size_t n_batches = std::max<std::size_t>(
+      1, (faults.size() + kBatchFaults - 1) / kBatchFaults);
 
   std::vector<char> det_out(faults.size(), 0);
   std::vector<char> det_sig(faults.size(), 0);
@@ -118,6 +136,15 @@ SessionReport BistSession::run(const fault::FaultList& faults,
           std::to_string(faults.size()) + ", cycles " +
           std::to_string(resume->cycles) + " vs " + std::to_string(cycles) +
           ")");
+    if (resume->batch_faults != kBatchFaults)
+      throw DesignError(
+          "session checkpoint was written with " +
+          std::to_string(resume->batch_faults) +
+          "-fault batches but this run uses " +
+          std::to_string(kBatchFaults) +
+          " (batch boundaries move with the lane width; resume with "
+          "set_batch_lanes(" +
+          std::to_string(resume->batch_faults + 1) + "))");
     if (resume->batches_done > n_batches ||
         resume->detected_at_outputs.size() != faults.size() ||
         resume->detected_by_signature.size() != faults.size() ||
@@ -146,7 +173,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
     for (int l : labels) max_shift = std::max(max_shift, l - tpg_.min_label);
 
   // The TPG stimulus is fault-independent, so the whole stage-1 bit stream
-  // is generated once and shared read-only by every 63-fault batch (they
+  // is generated once and shared read-only by every fault batch (they
   // used to regenerate it with a private LFSR + sliding deque each).
   // bits[j] is the generator's stage-1 value after j+1 steps; the cell with
   // shift s reads bits[max_shift + t - s] at cycle t.
@@ -188,7 +215,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   // and the prefix scan below may merge again.
   const auto merge_batch = [&](std::size_t bi) {
     const BatchResult& r = results[bi];
-    const std::size_t base = bi * 63;
+    const std::size_t base = bi * kBatchFaults;
     for (std::size_t k = 0; k < r.det_out.size(); ++k) {
       if (r.det_out[k]) det_out[base + k] = 1;
       if (r.det_sig[k]) det_sig[base + k] = 1;
@@ -197,19 +224,20 @@ SessionReport BistSession::run(const fault::FaultList& faults,
   };
 
   const auto run_batch = [&](std::size_t bi, BatchResult& out) {
-    const std::size_t base = bi * 63;
+    const std::size_t base = bi * kBatchFaults;
     const std::size_t batch = std::min<std::size_t>(
-        63, faults.size() > base ? faults.size() - base : 0);
+        kBatchFaults, faults.size() > base ? faults.size() - base : 0);
     LaneEngine eng(elab_->netlist,
                    std::span<const fault::Fault>(faults.faults())
-                       .subspan(base, batch));
+                       .subspan(base, batch),
+                   lb);
 
     std::vector<std::vector<lfsr::Misr>> misr;
     for (const gate::Bus& b : output_d_)
       misr.emplace_back(batch + 1, lfsr::Misr(lfsr::primitive_polynomial(
                                        static_cast<int>(b.size()))));
 
-    std::uint64_t out_diff_seen = 0;
+    std::vector<std::uint64_t> out_diff_seen(wstride, 0);
     for (std::int64_t t = 0; t < cycles; ++t) {
       // Poll run control at 64-cycle granularity; an interrupted batch is
       // discarded whole (resume re-runs it from its start, bit-exactly).
@@ -231,15 +259,20 @@ SessionReport BistSession::run(const fault::FaultList& faults,
 
       for (std::size_t oi = 0; oi < output_d_.size(); ++oi) {
         const gate::Bus& b = output_d_[oi];
+        // Lane l lives in word l/64 bit l%64 of the engine's W-strided
+        // values; lane 0 is the fault-free machine.
         for (std::size_t lane = 0; lane <= batch; ++lane) {
           BitVec word(b.size());
           for (std::size_t j = 0; j < b.size(); ++j)
-            word.set(j, (eng.value(b[j]) >> lane) & 1u);
+            word.set(j, (eng.value_words(b[j])[lane >> 6] >> (lane & 63)) &
+                            1u);
           misr[oi][lane].step(word);
         }
         for (std::size_t j = 0; j < b.size(); ++j) {
-          const std::uint64_t v = eng.value(b[j]);
-          out_diff_seen |= v ^ ((v & 1u) ? ~0ull : 0ull);
+          const std::uint64_t* vw = eng.value_words(b[j]);
+          const std::uint64_t gold = (vw[0] & 1u) ? ~0ull : 0ull;
+          for (std::size_t w = 0; w < wstride; ++w)
+            out_diff_seen[w] |= vw[w] ^ gold;
         }
       }
 
@@ -268,7 +301,8 @@ SessionReport BistSession::run(const fault::FaultList& faults,
     out.det_out.assign(batch, 0);
     out.det_sig.assign(batch, 0);
     for (std::size_t k = 0; k < batch; ++k) {
-      if ((out_diff_seen >> (k + 1)) & 1u) out.det_out[k] = 1;
+      if ((out_diff_seen[(k + 1) >> 6] >> ((k + 1) & 63)) & 1u)
+        out.det_out[k] = 1;
       for (std::size_t oi = 0; oi < output_d_.size(); ++oi)
         if (misr[oi][k + 1].signature() != misr[oi][0].signature()) {
           out.det_sig[k] = 1;
@@ -322,6 +356,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
     checkpoint->cycles = cycles;
     checkpoint->total_faults = faults.size();
     checkpoint->batches_done = completed;
+    checkpoint->batch_faults = kBatchFaults;
     checkpoint->detected_at_outputs.assign(det_out.begin(), det_out.end());
     checkpoint->detected_by_signature.assign(det_sig.begin(), det_sig.end());
     checkpoint->golden_signatures = rep.golden_signatures;

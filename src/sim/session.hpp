@@ -3,13 +3,17 @@
 // the elaborated circuit cycle by cycle while MISRs compact the kernel's
 // output-register D values, exactly as a silicon BIST session would run.
 //
-// Fault handling uses classic *parallel-fault* simulation: lane 0 of each
-// 64-bit word carries the fault-free machine, lanes 1..63 carry machines
-// with one injected stuck-at fault each. Detection is judged on final MISR
-// signatures, so signature aliasing is modelled (and measured) rather than
-// assumed away.
+// Fault handling uses classic *parallel-fault* simulation on a
+// sim::LaneEngine: lane 0 carries the fault-free machine, lanes 1..L-1
+// carry machines with one injected stuck-at fault each, where L is the
+// pattern-lane count of the gate::LaneBackend the batches run on (64 on
+// scalar64, 512 on avx512; see set_batch_lanes). Detection is judged on
+// final MISR signatures, so signature aliasing is modelled (and measured)
+// rather than assumed away. Reports are identical at every width — each
+// fault's lane evolves independently of its batch neighbours — but
+// checkpoints record the batch size and only resume at the same width.
 //
-// Multi-threading (set_threads / BIBS_THREADS): the 63-fault batches are
+// Multi-threading (set_threads / BIBS_THREADS): the (L-1)-fault batches are
 // independent whole-session reruns, so they dispatch to pool workers as
 // deterministic contiguous chunks, each with its own LaneEngine / TPG / MISR
 // state. Results merge in batch order and an interrupted run keeps only the
@@ -66,7 +70,7 @@ class BistSession {
   /// Runs the session for `cycles` clocks (default: the TPG's full pattern
   /// count plus the kernel depth) against the given faults. `ctl` is polled
   /// every 64 emulated cycles (work units are cycles summed across the
-  /// 63-fault batches): an interrupted run stops within one 64-cycle slice
+  /// fault batches): an interrupted run stops within one 64-cycle slice
   /// and returns a partial report whose `status` says why. `resume` (when
   /// non-null) skips the batches a previous run completed; `checkpoint`
   /// (when non-null) is filled with the state of every batch this run
@@ -79,16 +83,24 @@ class BistSession {
                     rt::SessionCheckpoint* checkpoint = nullptr) const;
 
   /// Installs a progress callback invoked from run() roughly every
-  /// `every_cycles` emulated clock cycles (across all 63-fault batches) and
+  /// `every_cycles` emulated clock cycles (across all fault batches) and
   /// once more when the run ends. Pass an empty function to disable. With
   /// more than one thread the cadence degrades to batch-merge boundaries
   /// (callbacks still fire on the thread that called run()).
   void set_progress(obs::ProgressFn fn, std::int64_t every_cycles = 4096);
 
-  /// Worker threads for the independent 63-fault batches. 0 (the default)
+  /// Worker threads for the independent fault batches. 0 (the default)
   /// resolves BIBS_THREADS and falls back to serial; reports, checkpoints
   /// and resume are bit-identical for every value.
   void set_threads(int threads);
+
+  /// Pattern-lane count of the per-batch LaneEngine: each batch carries
+  /// lanes - 1 faults next to the fault-free lane 0. 0 (the default)
+  /// resolves gate::active_lane_backend(); any other value must be the
+  /// lane count of a compiled-in, CPU-supported backend (64, 256, 512 —
+  /// DesignError otherwise). Reports are width-invariant; checkpoints are
+  /// not (they record the batch size, and resume validates it).
+  void set_batch_lanes(int lanes);
 
  private:
   const rtl::Netlist* n_;
@@ -99,6 +111,7 @@ class BistSession {
   obs::ProgressFn progress_;
   std::int64_t progress_every_ = 4096;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
+  int batch_lanes_ = 0;  // 0 = active_lane_backend()
 
   /// Gate nets belonging to the kernel's cone (fault sites).
   std::vector<gate::NetId> cone_;

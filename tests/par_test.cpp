@@ -287,6 +287,9 @@ TEST(SessionPar, SignaturesAndDetectionsAreBitIdenticalAcrossThreadCounts) {
   const Rig s = make_rig();
   ASSERT_FALSE(s.kernels.empty());
   sim::BistSession session(s.n, s.elab, s.design.bilbo, s.kernels[0]);
+  // Pin 63-fault batches: a wide lane backend would fold this fault list
+  // into one batch and the thread sweep would have nothing to chunk.
+  session.set_batch_lanes(64);
   const fault::FaultList faults = session.kernel_faults();
   ASSERT_GT(faults.size(), 2u * 63u);  // at least three 63-fault batches
 
@@ -321,6 +324,8 @@ TEST(SessionPar, CancelAndResumeUnderFourThreadsMatchesUninterruptedRun) {
   const Rig s = make_rig();
   ASSERT_FALSE(s.kernels.empty());
   sim::BistSession session(s.n, s.elab, s.design.bilbo, s.kernels[0]);
+  session.set_batch_lanes(64);  // several batches, so the cancel can land
+                                // between completed ones
   const fault::FaultList faults = session.kernel_faults();
 
   const std::int64_t cycles = 256;
@@ -356,6 +361,7 @@ TEST(SessionPar, CancelAndResumeUnderFourThreadsMatchesUninterruptedRun) {
 TEST(CstpPar, ReportIsBitIdenticalAcrossThreadCounts) {
   const Rig s = make_rig();
   sim::CstpSession cstp(s.elab.netlist);
+  cstp.set_batch_lanes(64);  // several 63-fault batches to chunk
   const fault::FaultList faults = fault::FaultList::collapsed(s.elab.netlist);
   ASSERT_GT(faults.size(), 63u);
 

@@ -141,6 +141,9 @@ gate::Netlist resistant() {
 TEST(FaultSimRt, CancelFromAnotherThreadStopsWithinOneBlock) {
   const gate::Netlist nl = resistant();
   fault::FaultSimulator sim(nl, fault::FaultList::full(nl));
+  // Pin the block shape: the cadence assertions below count generator calls
+  // and 64-pattern blocks, which a wider lane backend would coalesce.
+  sim.set_lane_backend(&gate::scalar_lane_backend());
 
   rt::RunControl ctl;
   std::atomic<int> blocks{0};
@@ -303,7 +306,10 @@ TEST(SessionRt, ExpiredDeadlineReturnsPartialReport) {
 TEST(SessionRt, CheckpointResumeMatchesUninterruptedRun) {
   const Rig s = make_rig();
   ASSERT_FALSE(s.kernels.empty());
-  const sim::BistSession session(s.n, s.elab, s.design.bilbo, s.kernels[0]);
+  sim::BistSession session(s.n, s.elab, s.design.bilbo, s.kernels[0]);
+  // Pin 64-lane (63-fault) batches so "budget for exactly one batch" below
+  // stops mid-run whatever lane backend the host resolves.
+  session.set_batch_lanes(64);
   const fault::FaultList faults = session.kernel_faults();
   ASSERT_GT(faults.size(), 63u);  // at least two 63-fault batches
 
@@ -352,6 +358,7 @@ TEST(SessionRt, SessionCheckpointFileRoundTrip) {
   ck.cycles = 256;
   ck.total_faults = 2;
   ck.batches_done = 1;
+  ck.batch_faults = 511;  // avx512-wide batches
   ck.detected_at_outputs = {1, 0};
   ck.detected_by_signature = {0, 1};
   ck.golden_signatures = {0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
@@ -361,10 +368,28 @@ TEST(SessionRt, SessionCheckpointFileRoundTrip) {
   const rt::SessionCheckpoint back = rt::SessionCheckpoint::load(path);
   EXPECT_EQ(back.cycles, ck.cycles);
   EXPECT_EQ(back.batches_done, ck.batches_done);
+  EXPECT_EQ(back.batch_faults, ck.batch_faults);
   EXPECT_EQ(back.detected_at_outputs, ck.detected_at_outputs);
   EXPECT_EQ(back.detected_by_signature, ck.detected_by_signature);
   EXPECT_EQ(back.golden_signatures, ck.golden_signatures);
   std::filesystem::remove(path);
+
+  // Files written before the batch_faults field always meant 63-fault
+  // (scalar64) batches; loading one must default accordingly.
+  obs::Json legacy = obs::Json::object();
+  legacy["kind"] = obs::Json("bibs.session_checkpoint");
+  legacy["version"] = obs::Json(1);
+  legacy["cycles"] = obs::Json(256);
+  legacy["total_faults"] = obs::Json(1);
+  legacy["batches_done"] = obs::Json(0);
+  obs::Json det = obs::Json::array();
+  det.push_back(obs::Json(true));
+  legacy["detected_at_outputs"] = det;
+  obs::Json sig = obs::Json::array();
+  sig.push_back(obs::Json(false));
+  legacy["detected_by_signature"] = sig;
+  legacy["golden_signatures"] = obs::Json::array();
+  EXPECT_EQ(rt::SessionCheckpoint::from_json(legacy).batch_faults, 63u);
 }
 
 // ----------------------------------------------- other interruptible loops --
