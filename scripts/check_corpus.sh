@@ -1,0 +1,60 @@
+#!/bin/sh
+# Corpus regression gate, run as a ctest.
+#
+#   tier1 mode (tier-1, the default): runs the bibs_corpus CLI over the quick
+#   tier-1 subset (c17 + c432 + one generated data path, both fault models)
+#   at --threads 1 and --threads 4, byte-compares the two tables, and diffs
+#   the result against the committed golden data/golden/CORPUS.tier1.json.
+#
+#   full mode (label bibs-corpus, not tier-1): sweeps the full corpus — all
+#   11 committed ISCAS-85 circuits plus the paper data paths and the FIR
+#   scaling sweeps — and diffs against data/golden/CORPUS.full.json.
+#
+# To bless an intentional coverage change, regenerate the goldens (see
+# docs/testing.md, "Corpus regression").
+#
+# usage: check_corpus.sh <source-dir> <bibs_corpus-binary> [tier1|full]
+set -u
+
+src=${1:?usage: check_corpus.sh <source-dir> <bibs_corpus-binary> [tier1|full]}
+bin=${2:?usage: check_corpus.sh <source-dir> <bibs_corpus-binary> [tier1|full]}
+mode=${3:-tier1}
+
+if [ ! -x "$bin" ]; then
+    echo "FAIL: bibs_corpus binary not found: $bin" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/bibs_corpus.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+case "$mode" in
+tier1)
+    golden="$src/data/golden/CORPUS.tier1.json"
+    "$bin" --tier1 --threads 1 --out "$tmp/t1.json" --diff "$golden" || {
+        echo "FAIL: tier1 sweep (serial) diverged or failed" >&2
+        exit 1
+    }
+    "$bin" --tier1 --threads 4 --out "$tmp/t4.json" || {
+        echo "FAIL: tier1 sweep (4 threads) failed" >&2
+        exit 1
+    }
+    if ! cmp -s "$tmp/t1.json" "$tmp/t4.json"; then
+        echo "FAIL: tier1 table differs between --threads 1 and 4" >&2
+        exit 1
+    fi
+    echo "OK: tier1 corpus table is thread-invariant and matches the golden."
+    ;;
+full)
+    golden="$src/data/golden/CORPUS.full.json"
+    "$bin" --full --threads 4 --out "$tmp/full.json" --diff "$golden" || {
+        echo "FAIL: full sweep diverged or failed" >&2
+        exit 1
+    }
+    echo "OK: full corpus table matches the golden."
+    ;;
+*)
+    echo "FAIL: unknown mode '$mode' (tier1|full)" >&2
+    exit 1
+    ;;
+esac

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace bibs::fault {
 
 using gate::Gate;
@@ -9,13 +11,25 @@ using gate::GateType;
 using gate::NetId;
 using gate::Netlist;
 
-std::string to_string(const Netlist& nl, const Fault& f) {
+std::string to_string(FaultModel m) {
+  return m == FaultModel::kTransition ? "transition" : "stuck_at";
+}
+
+FaultModel fault_model_from_string(const std::string& s) {
+  if (s == "stuck_at") return FaultModel::kStuckAt;
+  if (s == "transition") return FaultModel::kTransition;
+  throw DesignError("unknown fault model '" + s + "'");
+}
+
+std::string to_string(const Netlist& nl, const Fault& f, FaultModel model) {
   const Gate& g = nl.gate(f.net);
   std::string site = g.name.empty()
                          ? std::string(gate::to_string(g.type)) + "#" +
                                std::to_string(f.net)
                          : g.name;
   if (f.pin >= 0) site += ".in" + std::to_string(f.pin);
+  if (model == FaultModel::kTransition)
+    return site + (f.stuck ? " slow-to-fall" : " slow-to-rise");
   return site + (f.stuck ? " s-a-1" : " s-a-0");
 }
 
@@ -63,6 +77,20 @@ FaultList FaultList::full(const Netlist& nl) {
       fl.faults_.push_back({id, static_cast<int>(k), false});
       fl.faults_.push_back({id, static_cast<int>(k), true});
     }
+  }
+  fl.full_size_ = fl.faults_.size();
+  return fl;
+}
+
+FaultList FaultList::transition(const Netlist& nl) {
+  FaultList fl;
+  const auto cnt = fanout_counts(nl);
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl.net_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (!faultable_stem(g.type) || cnt[static_cast<std::size_t>(id)] == 0)
+      continue;
+    fl.faults_.push_back({id, -1, false});  // slow-to-rise
+    fl.faults_.push_back({id, -1, true});   // slow-to-fall
   }
   fl.full_size_ = fl.faults_.size();
   return fl;

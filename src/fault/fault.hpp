@@ -29,7 +29,23 @@ struct Fault {
   bool operator==(const Fault&) const = default;
 };
 
-std::string to_string(const gate::Netlist& nl, const Fault& f);
+/// Which fault universe a Fault vector describes. Under kTransition the same
+/// Fault record is reinterpreted as a gross (one-cycle) gate-delay fault on
+/// the stem: stuck == false is slow-to-rise (the site behaves as stuck-at-0
+/// on any cycle whose previous value was 0), stuck == true is slow-to-fall
+/// (stuck-at-1 while the previous value was 1). Detection therefore needs a
+/// two-pattern test: a launch pattern establishing the initial value followed
+/// by a capture pattern that propagates the late edge — exactly the stuck-at
+/// detection condition masked by the launch-side initialization.
+enum class FaultModel { kStuckAt, kTransition };
+
+/// Canonical serialization names ("stuck_at" / "transition") used by
+/// checkpoints and corpus tables.
+std::string to_string(FaultModel m);
+FaultModel fault_model_from_string(const std::string& s);
+
+std::string to_string(const gate::Netlist& nl, const Fault& f,
+                      FaultModel model = FaultModel::kStuckAt);
 
 class FaultList {
  public:
@@ -42,6 +58,13 @@ class FaultList {
   /// collapsing on fanout-free stems. The collapsed list records the full
   /// universe size (full_size) so run reports can state both counts.
   static FaultList collapsed(const gate::Netlist& nl, bool dominance = true);
+
+  /// Transition (gross gate-delay) fault list: slow-to-rise and slow-to-fall
+  /// on every faultable stem with at least one consumer. Transition faults
+  /// are stem-only — a late edge on a branch is dominated by the late edge
+  /// on its stem under the one-cycle model — so the list is already its own
+  /// collapse and full_size() equals size().
+  static FaultList transition(const gate::Netlist& nl);
 
   /// Wraps an explicit fault vector (e.g. a filtered subset). `full_size`
   /// optionally records the size of the uncollapsed universe the vector was

@@ -69,10 +69,11 @@ double CoverageCurve::coverage_after(std::int64_t patterns) const {
 }
 
 FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults,
-                               EvalBackend backend)
+                               EvalBackend backend, FaultModel model)
     : nl_(&nl),
       faults_(std::move(faults)),
       backend_(backend),
+      model_(model),
       // The interpreted golden path predates the wide datapath and stays
       // one word wide; the compiled path captures the dispatched backend.
       lane_(backend == EvalBackend::kInterpreted
@@ -80,6 +81,14 @@ FaultSimulator::FaultSimulator(const gate::Netlist& nl, FaultList faults,
                 : &gate::active_lane_backend()),
       prog_(nl) {
   BIBS_ASSERT(nl.dffs().empty());  // combinational netlists only
+  if (model_ == FaultModel::kTransition) {
+    for (const Fault& f : faults_.faults())
+      if (f.pin >= 0)
+        throw DesignError(
+            "transition faults are stem-only; fault list contains a pin "
+            "fault on net " + std::to_string(f.net));
+    site_prev_.assign(faults_.size(), 0);
+  }
   topo_ = nl.comb_topo_order();
   const std::size_t n = nl.net_count();
   observed_.assign(n, 0);
@@ -271,9 +280,26 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
                         std::to_string(faults_.size()) + ")");
     if (resume->patterns_run < 0)
       throw DesignError("sim checkpoint has negative patterns_run");
+    if (resume->fault_model != to_string(model_))
+      throw DesignError("sim checkpoint fault model '" + resume->fault_model +
+                        "' does not match this simulator's model '" +
+                        to_string(model_) + "'");
     curve.detected_at = resume->detected_at;
+    if (model_ == FaultModel::kTransition) {
+      if (resume->patterns_run > 0 &&
+          resume->site_prev.size() != faults_.size())
+        throw DesignError(
+            "sim checkpoint carries no usable site_prev launch state");
+      site_prev_ = resume->site_prev;
+      site_prev_.resize(faults_.size(), 0);
+      have_prev_ = resume->patterns_run > 0;
+    }
   } else {
     curve.detected_at.assign(faults_.size(), CoverageCurve::kUndetected);
+    if (model_ == FaultModel::kTransition) {
+      site_prev_.assign(faults_.size(), 0);
+      have_prev_ = false;
+    }
   }
 
   std::vector<std::size_t> live;
@@ -387,6 +413,36 @@ CoverageCurve FaultSimulator::run(const PatternBlockFn& gen,
           }
         });
 
+    if (model_ == FaultModel::kTransition) {
+      // Two-pattern gating: a transition fires on pattern p only if the
+      // site's fault-free value on p-1 (the launch word: this block's good
+      // word shifted up one bit, carrying the previous block's last value
+      // in) equals the initialization value — 0 for slow-to-rise, 1 for
+      // slow-to-fall. The very first pattern of a run has no launch side
+      // and is masked off entirely.
+      const std::int64_t last = lanes - 1;
+      for (std::size_t li = 0; li < live.size(); ++li) {
+        const std::size_t fi = live[li];
+        const Fault& f = faults_[fi];
+        const std::uint64_t* g =
+            good_.data() + static_cast<std::size_t>(f.net) * w;
+        std::uint64_t* det = block_det.data() + li * w;
+        std::uint64_t carry = site_prev_[fi] ? 1ull : 0ull;
+        for (std::size_t j = 0; j < w; ++j) {
+          const std::uint64_t launch = (g[j] << 1) | carry;
+          carry = g[j] >> 63;
+          det[j] &= f.stuck ? launch : ~launch;
+        }
+        if (!have_prev_) det[0] &= ~1ull;
+        site_prev_[fi] =
+            static_cast<std::uint8_t>((g[static_cast<std::size_t>(last) /
+                                         gate::kLanesPerWord] >>
+                                       (last % gate::kLanesPerWord)) &
+                                      1);
+      }
+      have_prev_ = true;
+    }
+
     std::size_t keep = 0;
     const std::size_t live_before = live.size();
     for (std::size_t li = 0; li < live.size(); ++li) {
@@ -492,6 +548,9 @@ rt::SimCheckpoint FaultSimulator::make_checkpoint(const CoverageCurve& curve,
   ck.patterns_run = curve.patterns_run;
   ck.detected_at = curve.detected_at;
   if (rng) ck.capture_rng(*rng);
+  ck.fault_model = to_string(model_);
+  if (model_ == FaultModel::kTransition)
+    ck.site_prev.assign(site_prev_.begin(), site_prev_.end());
   return ck;
 }
 
@@ -540,6 +599,39 @@ bool FaultSimulator::detects_naive(const Fault& f,
         1)
       return true;
   return false;
+}
+
+bool FaultSimulator::good_value_naive(NetId net,
+                                      const std::vector<bool>& pattern) const {
+  BIBS_ASSERT(pattern.size() == nl_->inputs().size());
+  std::vector<std::uint64_t> val(nl_->net_count(), 0);
+  const auto& ins = nl_->inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    val[static_cast<std::size_t>(ins[i])] = pattern[i] ? 1 : 0;
+  for (NetId id = 0; static_cast<std::size_t>(id) < nl_->net_count(); ++id)
+    if (nl_->gate(id).type == GateType::kConst1)
+      val[static_cast<std::size_t>(id)] = 1;
+  for (NetId id : topo_) {
+    const Gate& g = nl_->gate(id);
+    std::uint64_t in[64];
+    for (std::size_t i = 0; i < g.fanin.size(); ++i)
+      in[i] = val[static_cast<std::size_t>(g.fanin[i])];
+    val[static_cast<std::size_t>(id)] =
+        gate::Simulator::eval_gate(g.type, in, g.fanin.size()) & 1;
+  }
+  return (val[static_cast<std::size_t>(net)] & 1) != 0;
+}
+
+bool FaultSimulator::detects_naive_transition(
+    const Fault& f, const std::vector<bool>& launch,
+    const std::vector<bool>& capture) const {
+  BIBS_ASSERT(f.pin < 0);  // transition faults are stem-only
+  // Initialization: the launch pattern must set the site to the value the
+  // slow edge departs from (0 for slow-to-rise, 1 for slow-to-fall)...
+  if (good_value_naive(f.net, launch) != f.stuck) return false;
+  // ...and the capture pattern must then detect the frozen value, which is
+  // exactly the corresponding stuck-at detection condition.
+  return detects_naive(f, capture);
 }
 
 }  // namespace bibs::fault

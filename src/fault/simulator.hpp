@@ -89,12 +89,23 @@ struct CoverageCurve {
 
 class FaultSimulator {
  public:
-  /// The netlist must be combinational (no DFFs) and validated.
+  /// The netlist must be combinational (no DFFs) and validated. Under
+  /// FaultModel::kTransition the fault list must be stem-only (e.g.
+  /// FaultList::transition) and detection becomes two-pattern at-speed:
+  /// pattern p detects a slow-to-rise (slow-to-fall) fault iff p detects the
+  /// corresponding stuck-at-0 (stuck-at-1) fault AND the site's fault-free
+  /// value on pattern p-1 — the launch word, i.e. the previous capture word —
+  /// was 0 (1). The launch mask is computed from the shared good-circuit
+  /// block by a one-bit shift with inter-block carry, so the SIMD propagate
+  /// kernels are untouched and detected_at curves stay width- and
+  /// thread-invariant; pattern 0 has no launch side and never detects.
   FaultSimulator(const gate::Netlist& nl, FaultList faults,
-                 EvalBackend backend = EvalBackend::kCompiled);
+                 EvalBackend backend = EvalBackend::kCompiled,
+                 FaultModel model = FaultModel::kStuckAt);
 
   const gate::Netlist& netlist() const { return *nl_; }
   const FaultList& faults() const { return faults_; }
+  FaultModel fault_model() const { return model_; }
 
   /// Fills 64 pattern lanes: words[i] is the word for primary input i
   /// (nl.inputs()[i]); returns the number of valid lanes (1..64); returning
@@ -152,6 +163,14 @@ class FaultSimulator {
   /// Used to cross-check the event-driven engine in tests.
   bool detects_naive(const Fault& f, const std::vector<bool>& pattern) const;
 
+  /// Reference two-pattern transition detection: `capture` detects the
+  /// transition fault `f` iff the site's fault-free value under `launch`
+  /// equals the initialization value (0 for slow-to-rise, 1 for
+  /// slow-to-fall) and `capture` detects the corresponding stuck-at fault.
+  bool detects_naive_transition(const Fault& f,
+                                const std::vector<bool>& launch,
+                                const std::vector<bool>& capture) const;
+
   /// Installs a progress callback invoked from run() roughly every
   /// `every_patterns` simulated patterns and once more when the run ends.
   /// Pass an empty function to disable. The cadence is block-granular
@@ -196,10 +215,21 @@ class FaultSimulator {
   std::uint64_t propagate(const Fault& f, int valid_lanes, Scratch& s) const;
   void reset_good_values();
 
+  /// Fault-free value of net `net` under `pattern` (serial resimulation).
+  bool good_value_naive(gate::NetId net,
+                        const std::vector<bool>& pattern) const;
+
   const gate::Netlist* nl_;
   FaultList faults_;
   EvalBackend backend_;
+  FaultModel model_ = FaultModel::kStuckAt;
   const gate::LaneBackend* lane_;
+  // Transition model: per fault, the site's fault-free value on the last
+  // pattern of the previous block (launch side of the next block's first
+  // pattern). have_prev_ is false until the first block completes — pattern
+  // 0 has no launch pattern.
+  std::vector<std::uint8_t> site_prev_;
+  bool have_prev_ = false;
   obs::ProgressFn progress_;
   std::int64_t progress_every_ = 8192;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial

@@ -109,6 +109,13 @@ obs::Json SimCheckpoint::to_json() const {
     for (std::uint64_t w : rng_state) r.push_back(obs::Json(hex(w)));
     j["rng"] = std::move(r);
   }
+  // Emitted only off the default so pre-transition-model files round-trip.
+  if (fault_model != "stuck_at") j["fault_model"] = obs::Json(fault_model);
+  if (!site_prev.empty()) {
+    obs::Json sp = obs::Json::array();
+    for (std::uint8_t b : site_prev) sp.push_back(obs::Json(b != 0));
+    j["site_prev"] = std::move(sp);
+  }
   return j;
 }
 
@@ -133,6 +140,23 @@ SimCheckpoint SimCheckpoint::from_json(const obs::Json& j) {
       ck.rng_state[i] = parse_hex(r->items()[i], "rng");
     ck.has_rng = true;
   }
+  if (const obs::Json* m = j.find("fault_model")) {
+    if (!m->is_string())
+      throw ParseError("checkpoint: field 'fault_model' must be a string");
+    ck.fault_model = m->str();
+  }
+  if (const obs::Json* sp = j.find("site_prev")) {
+    if (!sp->is_array())
+      throw ParseError("checkpoint: field 'site_prev' must be an array");
+    for (const obs::Json& b : sp->items()) {
+      if (b.type() != obs::Json::Type::kBool)
+        throw ParseError("checkpoint: 'site_prev' entries must be booleans");
+      ck.site_prev.push_back(b.boolean() ? 1 : 0);
+    }
+    if (ck.site_prev.size() != ck.detected_at.size())
+      throw ParseError(
+          "checkpoint: site_prev size does not match detected_at");
+  }
   return ck;
 }
 
@@ -152,6 +176,7 @@ obs::Json SessionCheckpoint::to_json() const {
   j["total_faults"] = obs::Json(static_cast<std::uint64_t>(total_faults));
   j["batches_done"] = obs::Json(static_cast<std::uint64_t>(batches_done));
   j["batch_faults"] = obs::Json(static_cast<std::uint64_t>(batch_faults));
+  if (fault_model != "stuck_at") j["fault_model"] = obs::Json(fault_model);
   const auto flags = [](const std::vector<std::uint8_t>& v) {
     obs::Json a = obs::Json::array();
     for (std::uint8_t f : v) a.push_back(obs::Json(f != 0));
@@ -176,6 +201,11 @@ SessionCheckpoint SessionCheckpoint::from_json(const obs::Json& j) {
   ck.batch_faults = j.find("batch_faults")
                         ? static_cast<std::size_t>(require_int(j, "batch_faults"))
                         : 63;
+  if (const obs::Json* m = j.find("fault_model")) {
+    if (!m->is_string())
+      throw ParseError("checkpoint: field 'fault_model' must be a string");
+    ck.fault_model = m->str();
+  }
   const auto flags = [&](const char* key) {
     const obs::Json& a = require(j, key);
     if (!a.is_array())

@@ -37,6 +37,12 @@ struct SimCheckpoint {
   /// Captured Xoshiro256 state (run_random / run_weighted resume).
   bool has_rng = false;
   std::array<std::uint64_t, 4> rng_state{};
+  /// Fault model of the run ("stuck_at" / "transition"); resume validates it
+  /// matches. Files written before the field default to "stuck_at" on load.
+  std::string fault_model = "stuck_at";
+  /// Transition model only: per fault, the site's fault-free value on the
+  /// last simulated pattern — the launch side of the next pattern pair.
+  std::vector<std::uint8_t> site_prev;
 
   void capture_rng(const Xoshiro256& rng);
   /// Restores the captured generator state; throws DesignError if the
@@ -63,6 +69,9 @@ struct SessionCheckpoint {
   /// validates the width matches; files written before the field default
   /// to 63 on load.
   std::size_t batch_faults = 63;
+  /// Fault model of the run ("stuck_at" / "transition"); resume validates it
+  /// matches. Files written before the field default to "stuck_at" on load.
+  std::string fault_model = "stuck_at";
   std::vector<std::uint8_t> detected_at_outputs;
   std::vector<std::uint8_t> detected_by_signature;
   std::vector<std::uint64_t> golden_signatures;

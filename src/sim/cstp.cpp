@@ -73,7 +73,7 @@ CstpReport CstpSession::run(const fault::FaultList& faults,
     LaneEngine eng(*nl_,
                    std::span<const fault::Fault>(faults.faults())
                        .subspan(base, batch),
-                   lb);
+                   lb, model_);
     // Seed the ring.
     eng.set_dff_state(ring_.front(), ~0ull);
 

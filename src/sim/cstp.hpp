@@ -53,6 +53,13 @@ class CstpSession {
   /// width-invariant: every fault's ring evolves in its own lane.
   void set_batch_lanes(int lanes);
 
+  /// Fault model the next run() injects (stuck-at by default). kTransition
+  /// requires a stem-only fault list (fault::FaultList::transition) and
+  /// emulates gross one-cycle delays against the ring's own at-speed
+  /// pattern sequence.
+  void set_fault_model(fault::FaultModel model) { model_ = model; }
+  fault::FaultModel fault_model() const { return model_; }
+
   /// Fault-free run measuring *pattern* coverage: the number of cycles until
   /// the watched flip-flops (<= 24 of them) have taken `target` distinct
   /// joint values, or -1 if max_cycles pass first (or the run was
@@ -75,6 +82,7 @@ class CstpSession {
   std::vector<gate::NetId> ring_d_;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
   int batch_lanes_ = 0;  // 0 = active_lane_backend()
+  fault::FaultModel model_ = fault::FaultModel::kStuckAt;
 };
 
 }  // namespace bibs::sim

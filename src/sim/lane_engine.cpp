@@ -18,7 +18,8 @@ constexpr std::size_t kMaxWords = 8;
 
 LaneEngine::LaneEngine(const gate::Netlist& nl,
                        std::span<const fault::Fault> batch,
-                       const gate::LaneBackend* backend)
+                       const gate::LaneBackend* backend,
+                       fault::FaultModel model)
     : nl_(&nl),
       lane_(backend ? backend : &gate::active_lane_backend()),
       wstride_(static_cast<std::size_t>(lane_->words)),
@@ -29,7 +30,9 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
       stem1_(nl.net_count() * wstride_, 0) {
   BIBS_ASSERT(wstride_ <= kMaxWords);
   BIBS_ASSERT(batch.size() < static_cast<std::size_t>(lane_->lanes));
+  const bool transition = model == fault::FaultModel::kTransition;
   std::map<std::uint32_t, std::vector<PinFault>> by_instr;
+  std::vector<char> has_trans(nl.net_count(), 0);
   for (std::size_t k = 0; k < batch.size(); ++k) {
     const fault::Fault& f = batch[k];
     if (f.net < 0 || static_cast<std::size_t>(f.net) >= nl.net_count())
@@ -43,7 +46,26 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
     const std::uint32_t word =
         static_cast<std::uint32_t>((k + 1) / gate::kLanesPerWord);
     const std::uint64_t mask = 1ull << ((k + 1) % gate::kLanesPerWord);
-    if (f.pin < 0) {
+    if (transition) {
+      if (f.pin >= 0)
+        throw DesignError("transition faults are stem-only; fault on net " +
+                          std::to_string(f.net) + " names pin " +
+                          std::to_string(f.pin));
+      const GateType t = nl.gate(f.net).type;
+      TransSite ts;
+      ts.net = f.net;
+      ts.word = word;
+      ts.mask = mask;
+      ts.stf = f.stuck;
+      ts.source = t == GateType::kInput || t == GateType::kConst0 ||
+                  t == GateType::kConst1;
+      ts.base = t == GateType::kConst1 ? ~0ull : 0ull;
+      // Non-source, non-DFF sites start with all-zero stem masks, so the
+      // special-instruction scan below must be forced to include them.
+      if (!ts.source && t != GateType::kDff)
+        has_trans[static_cast<std::size_t>(f.net)] = 1;
+      trans_.push_back(ts);
+    } else if (f.pin < 0) {
       (f.stuck ? stem1_ : stem0_)[static_cast<std::size_t>(f.net) * wstride_ +
                                   word] |= mask;
     } else if (nl.gate(f.net).type == GateType::kDff) {
@@ -52,13 +74,14 @@ LaneEngine::LaneEngine(const gate::Netlist& nl,
       by_instr[prog_.instr_of(f.net)].push_back({f.pin, word, mask, f.stuck});
     }
   }
+  trans_prev_.assign(trans_.size(), 0);
 
   // Compile the fault sites into the ascending special-instruction list:
   // every instruction with a stem or pin fault leaves the straight-line
   // path; everything else runs through the backend's run_range untouched.
   for (std::size_t i = 0; i < prog_.size(); ++i) {
     const NetId out = prog_.out(i);
-    bool has_stem = false;
+    bool has_stem = has_trans[static_cast<std::size_t>(out)] != 0;
     for (std::size_t j = 0; j < wstride_; ++j)
       has_stem |= (stem0_[static_cast<std::size_t>(out) * wstride_ + j] |
                    stem1_[static_cast<std::size_t>(out) * wstride_ + j]) != 0;
@@ -101,6 +124,30 @@ void LaneEngine::set_dff_state(NetId dff, std::uint64_t word) {
 void LaneEngine::eval() {
   BIBS_COUNTER(c_evals, "lane_engine.evals");
   BIBS_COUNTER_ADD(c_evals, 1);
+  // Transition model: decide each site's injection for this cycle from the
+  // lane's previous applied value — a slow-to-rise site whose lane sat at 0
+  // stays at 0 this cycle (s-a-0 mask); a slow-to-fall site that sat at 1
+  // stays at 1. The first eval() has no previous value and injects nothing.
+  for (std::size_t i = 0; i < trans_.size(); ++i) {
+    const TransSite& ts = trans_[i];
+    const std::size_t idx =
+        static_cast<std::size_t>(ts.net) * wstride_ + ts.word;
+    std::uint64_t& m = ts.stf ? stem1_[idx] : stem0_[idx];
+    const bool inject =
+        trans_armed_ && (trans_prev_[i] != 0) == ts.stf;
+    if (inject)
+      m |= ts.mask;
+    else
+      m &= ~ts.mask;
+    if (ts.source) {
+      // Source-net values are fixed at construction; re-drive and re-mask
+      // them so this cycle's stem masks take effect.
+      std::uint64_t* v =
+          val_.data() + static_cast<std::size_t>(ts.net) * wstride_;
+      for (std::size_t j = 0; j < wstride_; ++j) v[j] = ts.base;
+      apply_stem_words(ts.net, v);
+    }
+  }
   for (const auto& [d, dnet] : dff_d_) {
     std::uint64_t* v = val_.data() + static_cast<std::size_t>(d) * wstride_;
     const std::uint64_t* s =
@@ -131,6 +178,17 @@ void LaneEngine::eval() {
     pos = sp.instr + 1;
   }
   lane_->run_range(pv, pos, prog_.size(), v);
+  // Record every transition site's applied value: the launch side of the
+  // next cycle's injection decision.
+  for (std::size_t i = 0; i < trans_.size(); ++i) {
+    const TransSite& ts = trans_[i];
+    trans_prev_[i] = (val_[static_cast<std::size_t>(ts.net) * wstride_ +
+                           ts.word] &
+                      ts.mask) != 0
+                         ? 1
+                         : 0;
+  }
+  if (!trans_.empty()) trans_armed_ = true;
 }
 
 void LaneEngine::next_with_pin_faults(NetId dff, std::uint64_t* next) const {

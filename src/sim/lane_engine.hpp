@@ -34,8 +34,16 @@ class LaneEngine {
   /// they reach the unchecked hot loops. `batch` must carry fewer than
   /// lanes() faults (asserted). `backend` == nullptr runs on
   /// gate::active_lane_backend().
+  ///
+  /// Under fault::FaultModel::kTransition every batch fault must be a stem
+  /// (pin faults throw) and is injected as a gross one-cycle delay: before
+  /// each eval() the site's lane is forced to its *previous* applied value
+  /// when that value matches the transition's initial state (0 for
+  /// slow-to-rise, 1 for slow-to-fall); the first eval() after construction
+  /// injects nothing, because no launch value exists yet.
   LaneEngine(const gate::Netlist& nl, std::span<const fault::Fault> batch,
-             const gate::LaneBackend* backend = nullptr);
+             const gate::LaneBackend* backend = nullptr,
+             fault::FaultModel model = fault::FaultModel::kStuckAt);
 
   /// 64-bit words per value (W); lanes() == words() * 64 pattern lanes,
   /// so the engine fits lanes() - 1 faults next to the fault-free lane 0.
@@ -81,6 +89,16 @@ class LaneEngine {
     std::uint64_t mask;  // lane bit within that word
     bool stuck;
   };
+  /// One transition-fault site: its stem mask bit is raised/cleared before
+  /// every eval() from the lane's previous applied value.
+  struct TransSite {
+    gate::NetId net;
+    std::uint32_t word;
+    std::uint64_t mask;
+    bool stf;            // slow-to-fall: inject s-a-1 while prev was 1
+    bool source;         // kInput/kConst net: value re-fixed every eval()
+    std::uint64_t base;  // source nets: the fault-free driven word
+  };
   /// One instruction carrying at least one fault: its pin faults live in
   /// pin_faults_[pf_begin, pf_end); stem masks are read from stem0_/stem1_.
   struct Special {
@@ -106,6 +124,9 @@ class LaneEngine {
   std::vector<std::uint64_t> stem1_;
   std::vector<Special> special_;        // faulted instructions, ascending
   std::vector<PinFault> pin_faults_;    // grouped per special_ entry
+  std::vector<TransSite> trans_;        // transition model only
+  std::vector<std::uint8_t> trans_prev_;  // per site: last applied value
+  bool trans_armed_ = false;  // false until the first eval() completes
   /// Pin faults on DFF D inputs (applied at clock time, not by eval).
   std::unordered_map<gate::NetId, std::vector<PinFault>> dff_pin_faults_;
   /// (dff net, D net) pairs — clock() without per-cycle Gate indirection.

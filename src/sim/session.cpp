@@ -73,6 +73,16 @@ fault::FaultList BistSession::kernel_faults() const {
   return fault::FaultList::from_faults(std::move(kept));
 }
 
+fault::FaultList BistSession::kernel_transition_faults() const {
+  const fault::FaultList all = fault::FaultList::transition(elab_->netlist);
+  std::unordered_set<NetId> cone(cone_.begin(), cone_.end());
+  std::vector<fault::Fault> kept;
+  for (const fault::Fault& f : all.faults())
+    if (cone.count(f.net)) kept.push_back(f);
+  const std::size_t n = kept.size();
+  return fault::FaultList::from_faults(std::move(kept), n);
+}
+
 void BistSession::set_progress(obs::ProgressFn fn, std::int64_t every_cycles) {
   BIBS_ASSERT(every_cycles > 0);
   progress_ = std::move(fn);
@@ -145,6 +155,11 @@ SessionReport BistSession::run(const fault::FaultList& faults,
           " (batch boundaries move with the lane width; resume with "
           "set_batch_lanes(" +
           std::to_string(resume->batch_faults + 1) + "))");
+    if (resume->fault_model != fault::to_string(model_))
+      throw DesignError("session checkpoint fault model '" +
+                        resume->fault_model +
+                        "' does not match this run's model '" +
+                        fault::to_string(model_) + "'");
     if (resume->batches_done > n_batches ||
         resume->detected_at_outputs.size() != faults.size() ||
         resume->detected_by_signature.size() != faults.size() ||
@@ -230,7 +245,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
     LaneEngine eng(elab_->netlist,
                    std::span<const fault::Fault>(faults.faults())
                        .subspan(base, batch),
-                   lb);
+                   lb, model_);
 
     std::vector<std::vector<lfsr::Misr>> misr;
     for (const gate::Bus& b : output_d_)
@@ -357,6 +372,7 @@ SessionReport BistSession::run(const fault::FaultList& faults,
     checkpoint->total_faults = faults.size();
     checkpoint->batches_done = completed;
     checkpoint->batch_faults = kBatchFaults;
+    checkpoint->fault_model = fault::to_string(model_);
     checkpoint->detected_at_outputs.assign(det_out.begin(), det_out.end());
     checkpoint->detected_by_signature.assign(det_sig.begin(), det_sig.end());
     checkpoint->golden_signatures = rep.golden_signatures;

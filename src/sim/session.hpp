@@ -67,6 +67,20 @@ class BistSession {
   /// Stuck-at faults on the gates inside the kernel's logic cone, collapsed.
   fault::FaultList kernel_faults() const;
 
+  /// Transition (slow-to-rise/slow-to-fall) faults on the stems inside the
+  /// kernel's logic cone — the at-speed companion universe to
+  /// kernel_faults(). Run them with set_fault_model(kTransition).
+  fault::FaultList kernel_transition_faults() const;
+
+  /// Fault model the next run() injects. Stuck-at (the default) treats the
+  /// fault list classically; kTransition requires a stem-only list (e.g.
+  /// kernel_transition_faults()) and emulates gross one-cycle delays:
+  /// consecutive TPG patterns form the launch/capture pairs, so a session
+  /// must run at least two cycles to detect anything. Checkpoints record
+  /// the model and resume refuses a mismatch.
+  void set_fault_model(fault::FaultModel model) { model_ = model; }
+  fault::FaultModel fault_model() const { return model_; }
+
   /// Runs the session for `cycles` clocks (default: the TPG's full pattern
   /// count plus the kernel depth) against the given faults. `ctl` is polled
   /// every 64 emulated cycles (work units are cycles summed across the
@@ -112,6 +126,7 @@ class BistSession {
   std::int64_t progress_every_ = 4096;
   int threads_ = 0;  // 0 = BIBS_THREADS, else serial
   int batch_lanes_ = 0;  // 0 = active_lane_backend()
+  fault::FaultModel model_ = fault::FaultModel::kStuckAt;
 
   /// Gate nets belonging to the kernel's cone (fault sites).
   std::vector<gate::NetId> cone_;
